@@ -1,0 +1,54 @@
+"""Design-choice ablations (DESIGN.md Section 8).
+
+Each ablation isolates one mechanism the paper motivates with a cost
+argument, and asserts that the measured saving matches the argument.
+"""
+
+import pytest
+
+from repro.bench.ablations import (
+    attachment_omission_ablation,
+    force_combining_ablation,
+    log_gc_ablation,
+    short_record_ablation,
+)
+
+from conftest import run_experiment
+
+
+def bench_attachment_omission(benchmark, measured):
+    table = run_experiment(benchmark, attachment_omission_ablation, calls=300)
+    on = measured(table, "omission on")[0]
+    off = measured(table, "omission off")[0]
+    # the omitted reply attachment is the 0.5 ms type_attachment_cost
+    assert off - on == pytest.approx(0.5, abs=0.1)
+
+
+def bench_short_records(benchmark, measured):
+    table = run_experiment(benchmark, short_record_ablation, calls=80)
+    short = measured(table, "short records (Algorithm 3)")[0]
+    long_ = measured(table, "long records (Algorithm 1)")[0]
+    # the fat reply payload dominates the long-record bytes
+    assert long_ > 10 * short
+
+
+def bench_force_combining(benchmark):
+    table = run_experiment(
+        benchmark, force_combining_ablation, depths=(1, 2, 4, 8), calls=30
+    )
+    for label, cells in table.rows:
+        baseline, optimized = cells[0].measured, cells[1].measured
+        assert baseline == cells[0].paper, label  # exact analytic counts
+        assert optimized == cells[1].paper, label
+    # at depth 8 the saving approaches the asymptotic 2x
+    deep = dict(table.rows)["depth 8"]
+    assert deep[0].measured / deep[1].measured == pytest.approx(2.0, abs=0.1)
+
+
+def bench_log_gc(benchmark, measured):
+    table = run_experiment(benchmark, log_gc_ablation, calls=300)
+    off_size = measured(table, "gc off")[0]
+    on_size = measured(table, "gc on")[0]
+    on_reclaimed = measured(table, "gc on")[1]
+    assert on_size < off_size / 10  # the log stays bounded
+    assert on_reclaimed > 0

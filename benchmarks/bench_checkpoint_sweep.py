@@ -1,0 +1,55 @@
+"""Paper Section 4.3: how frequently should context states be saved?
+
+The sweep behind the paper's ~400-call rule: runtime overhead and
+worst-case recovery time across checkpoint intervals.  Claims:
+
+* worst-case recovery grows linearly with the interval (0.15 ms per
+  unsaved call);
+* with a long enough history, an over-wide interval is *worse* than not
+  checkpointing at all (you pay the 60 ms restore without saving enough
+  replay) — the reason the rule says "every 400 calls or more";
+* runtime overhead per call shrinks as the interval grows.
+"""
+
+import pytest
+
+from repro.bench import checkpoint_interval_sweep
+
+from conftest import run_experiment
+
+
+def bench_checkpoint_sweep(benchmark, measured):
+    table = run_experiment(
+        benchmark, checkpoint_interval_sweep,
+        intervals=(25, 100, 400, 1600), base_calls=1600,
+    )
+
+    recovery = {
+        label: cells[1].measured for label, cells in table.rows
+    }
+    runtime_cost = {
+        label: cells[0].measured for label, cells in table.rows
+    }
+
+    # linear growth with the interval
+    assert (
+        recovery["every 25 calls"]
+        < recovery["every 100 calls"]
+        < recovery["every 400 calls"]
+        < recovery["every 1600 calls"]
+    )
+    slope = (
+        recovery["every 1600 calls"] - recovery["every 400 calls"]
+    ) / 1200
+    assert slope == pytest.approx(0.15, abs=0.02)
+
+    # an over-wide interval loses to no checkpoints at this history size
+    assert recovery["every 1600 calls"] > recovery["no checkpoints"]
+    # a sane interval wins comfortably
+    assert recovery["every 400 calls"] < recovery["no checkpoints"]
+
+    # runtime overhead decreases (or stays flat) as saving gets rarer
+    assert (
+        runtime_cost["every 25 calls"]
+        >= runtime_cost["every 400 calls"] - 0.01
+    )

@@ -1,0 +1,47 @@
+"""Paper Figure 9: unbuffered disk write performance.
+
+The staircase: 1 KB unbuffered writes in a loop cost ~8.5 ms each (a
+full missed rotation), and inserting a delay after each write raises the
+per-iteration time in discrete steps of one rotation (8.33 ms at
+7200 RPM) as whole rotations are missed.
+"""
+
+import pytest
+
+from repro.bench import figure9
+from repro.sim import DiskGeometry
+
+from conftest import run_experiment
+
+ROTATION = DiskGeometry().rotation_ms
+
+
+def bench_figure9(benchmark):
+    table = run_experiment(
+        benchmark, figure9,
+        delays_ms=tuple(range(0, 37, 2)), writes_per_point=100,
+    )
+    values = {
+        int(label.split("=")[1][:-2]): cells[0].measured
+        for label, cells in table.rows
+    }
+
+    # base of the staircase: a little more than one rotation
+    assert values[0] == pytest.approx(8.5, abs=0.2)
+
+    # tread flatness and one-rotation risers
+    for delay, value in values.items():
+        expected_step = int(delay // ROTATION) + 1
+        assert value == pytest.approx(
+            expected_step * ROTATION + 0.17, abs=0.45
+        ), f"delay={delay}"
+
+    # monotone non-decreasing overall
+    ordered = [values[d] for d in sorted(values)]
+    assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+
+    # exactly four risers within 0..36 ms
+    risers = sum(
+        1 for a, b in zip(ordered, ordered[1:]) if b - a > ROTATION / 2
+    )
+    assert risers == 4

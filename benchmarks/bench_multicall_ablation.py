@@ -1,0 +1,32 @@
+"""Paper Sections 3.5 / 5.5.2: the multi-call optimization (extension).
+
+The paper describes but does not implement this optimization; this
+reproduction does.  A persistent fan-out component (the PriceGrabber
+shape) calls k persistent servers per incoming request:
+
+* without the optimization it forces its log on every outgoing call
+  (k forces) plus once at its own reply;
+* with it, only the first outgoing call and the reply force — constant
+  2 forces "regardless of the number of Bookstores it queries".
+"""
+
+import pytest
+
+from repro.bench import multicall_ablation
+
+from conftest import run_experiment
+
+
+def bench_multicall(benchmark):
+    table = run_experiment(
+        benchmark, multicall_ablation,
+        server_counts=(1, 2, 4, 8, 16), calls=20,
+    )
+
+    without = [cells[0].measured for __, cells in table.rows]
+    with_opt = [cells[1].measured for __, cells in table.rows]
+
+    # without: k + 1 forces, growing linearly with fan-out
+    assert without == [2.0, 3.0, 5.0, 9.0, 17.0]
+    # with: constant, independent of fan-out
+    assert with_opt == [2.0] * 5

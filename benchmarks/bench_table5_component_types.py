@@ -1,0 +1,50 @@
+"""Paper Table 5: new component types and read-only methods.
+
+All seven rows.  The paper's claims asserted here:
+
+* every row is force-free and therefore 10x+ faster than the persistent
+  rows of Table 4;
+* Persistent -> Subordinate is a direct call (~3.4e-5 ms);
+* type attachments cost ~0.5 ms (Persistent vs External clients);
+* read-only replies add a 0.15~0.2 ms unforced log write over
+  functional servers;
+* read-only *methods* behave like read-only components.
+"""
+
+import pytest
+
+from repro.bench import table5
+
+from conftest import run_experiment
+
+
+def bench_table5(benchmark, measured):
+    table = run_experiment(benchmark, table5, calls=300)
+
+    for label, cells in table.rows:
+        assert cells[0].measured < 2.0, label  # all force-free rows
+
+    subordinate = measured(table, "Persistent -> Subordinate")[0]
+    assert subordinate == pytest.approx(3.44e-5, rel=0.05)
+
+    ext_f = measured(table, "External -> Functional")[0]
+    per_f = measured(table, "Persistent -> Functional")[0]
+    assert per_f - ext_f == pytest.approx(0.5, abs=0.15)  # attachment
+
+    per_ro = measured(table, "Persistent -> Read-only")[0]
+    assert 0.1 < per_ro - per_f < 0.3  # unforced reply log write
+
+    ro_methods = measured(
+        table, "Persistent -> Persistent (read-only methods)"
+    )[0]
+    assert ro_methods == pytest.approx(per_ro, rel=0.1)
+
+    ro_client = measured(table, "Read-only -> Persistent")[0]
+    assert ro_client < per_ro  # no reply logging at a read-only caller
+
+    # remote adds ~0.2 ms across the board
+    for label, cells in table.rows:
+        if label == "Persistent -> Subordinate":
+            continue
+        local, remote = cells[0].measured, cells[1].measured
+        assert 0.1 < remote - local < 0.4, label

@@ -1,0 +1,39 @@
+"""Paper Table 6: runtime checkpointing overhead.
+
+Remote Persistent -> Persistent with and without saving the server's
+context state on every call, with the disk write cache disabled and
+enabled.  The claims:
+
+* saving context state costs ~1 ms of computation per call (visible
+  directly in the cache-enabled column);
+* enabling the write cache removes the disk media cost (the dominant
+  term of the cache-disabled column).
+"""
+
+import pytest
+
+from repro.bench import table6
+
+from conftest import run_experiment
+
+PLAIN = "Persistent -> Persistent"
+SAVING = "Persistent -> Persistent (save state on call)"
+
+
+def bench_table6(benchmark, measured):
+    table = run_experiment(benchmark, table6, calls=300)
+
+    plain_off, plain_on = measured(table, PLAIN)
+    saving_off, saving_on = measured(table, SAVING)
+
+    # ~1 ms computational overhead for the state save (paper: "saving
+    # context state incurs an additional ~1ms overhead")
+    assert saving_on - plain_on == pytest.approx(1.34, abs=0.4)
+
+    # the cache removes media costs
+    assert plain_on < plain_off / 3
+    assert saving_on < saving_off / 2
+
+    # absolute anchors near the paper's cells
+    assert plain_off == pytest.approx(10.8, abs=2.0)
+    assert plain_on == pytest.approx(2.62, abs=0.6)

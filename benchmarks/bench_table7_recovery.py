@@ -1,0 +1,47 @@
+"""Paper Table 7: recovery performance.
+
+Kills a server process after a controlled call history and measures the
+simulated recovery time, in three cases: an empty log, replay from the
+creation record, and replay from a saved context state record.  Claims:
+
+* empty-log recovery is ~492 ms of runtime initialization;
+* replay adds ~0.15 ms per call, linearly;
+* restoring a state record costs ~60 ms more up front — so a checkpoint
+  pays for itself once it saves about 400 calls of replay (the paper's
+  checkpoint-frequency rule).
+"""
+
+import pytest
+
+from repro.bench import table7
+
+from conftest import run_experiment
+
+CALL_COUNTS = (0, 1000, 2000, 3000, 4000, 5000)
+
+
+def bench_table7(benchmark, measured):
+    table = run_experiment(benchmark, table7, call_counts=CALL_COUNTS)
+
+    empty = measured(table, "Empty log")[0]
+    creation = measured(table, "From creation")
+    state = measured(table, "From state")
+
+    assert empty == pytest.approx(492, abs=15)
+    assert creation[0] == pytest.approx(575, abs=15)
+    assert state[0] - creation[0] == pytest.approx(60, abs=8)
+
+    # linear replay at ~0.15 ms/call for both cases
+    for series in (creation, state):
+        slopes = [
+            (series[i + 1] - series[i]) / 1000
+            for i in range(len(series) - 1)
+        ]
+        for slope in slopes:
+            assert slope == pytest.approx(0.15, abs=0.02)
+
+    # the crossover: with >= ~400 calls of replay saved, the state
+    # record wins
+    assert state[0] < creation[1]  # 0 replayed beats 1000 replayed
+    breakeven_calls = (state[0] - creation[0]) / 0.15
+    assert breakeven_calls == pytest.approx(400, abs=60)

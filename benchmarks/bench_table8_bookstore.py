@@ -1,0 +1,39 @@
+"""Paper Table 8: the online bookstore application.
+
+Runs the Section 5.5 operation mix (search "recovery", buy a book from
+each store into the basket, show + total with tax, clear) at the three
+optimization levels and reports per-iteration elapsed time and server
+log forces.  Claims:
+
+* elapsed time and force counts drop monotonically from baseline to
+  optimized-persistent to specialized;
+* overall response time is cut at least in half;
+* elapsed time is explained by forces x roughly one disk rotation.
+"""
+
+import pytest
+
+from repro.bench import table8
+
+from conftest import run_experiment
+
+
+def bench_table8(benchmark):
+    table = run_experiment(benchmark, table8, iterations=10)
+
+    elapsed = [cells[0].measured for __, cells in table.rows]
+    forces = [cells[1].measured for __, cells in table.rows]
+
+    assert elapsed[0] > elapsed[1] > elapsed[2]
+    assert forces[0] > forces[1] > forces[2]
+
+    # "Overall, we cut response time approximately in half"
+    assert elapsed[2] <= elapsed[0] / 2
+
+    # elapsed ~ forces x rotational latency (paper Section 5.5.1)
+    for time_ms, force_count in zip(elapsed, forces):
+        assert 6.0 < time_ms / force_count < 11.0
+
+    # baseline anchors near the paper's scale
+    assert elapsed[0] == pytest.approx(589, rel=0.15)
+    assert forces[0] == pytest.approx(64, rel=0.15)

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation (Section 5) through pytest-benchmark.  The experiment runs
+inside the ``benchmark`` fixture (so pytest-benchmark reports the real
+wall time of driving the simulation), the resulting paper-vs-measured
+table is printed (run with ``-s`` to see it), and the paper's shape
+claims are asserted.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, experiment, **kwargs):
+    """Run an experiment function under pytest-benchmark and print the
+    paper-style table it produced."""
+    table = benchmark.pedantic(
+        lambda: experiment(**kwargs), iterations=1, rounds=1
+    )
+    print()
+    print(table.format())
+    return table
+
+
+@pytest.fixture
+def measured():
+    """Extract a row's measured values as a list of floats."""
+
+    def extract(table, row_label):
+        for label, cells in table.rows:
+            if label == row_label:
+                return [cell.measured for cell in cells]
+        raise KeyError(row_label)
+
+    return extract

@@ -1,0 +1,39 @@
+"""The paper's online bookstore application (Section 5.5)."""
+
+from .buyer import BookBuyer, SessionReport
+from .catalog import make_catalog, titles_matching
+from .components import (
+    BasketManager,
+    BasketManagerPersistent,
+    BookSeller,
+    BookSellerRemoteBaskets,
+    Bookstore,
+    PriceGrabber,
+    PriceGrabberPersistent,
+    ShoppingBasket,
+    ShoppingBasketPersistent,
+    TaxCalculator,
+    TaxCalculatorPersistent,
+)
+from .deploy import BookstoreApp, OptimizationLevel, deploy_bookstore
+
+__all__ = [
+    "BookBuyer",
+    "SessionReport",
+    "make_catalog",
+    "titles_matching",
+    "Bookstore",
+    "PriceGrabber",
+    "PriceGrabberPersistent",
+    "TaxCalculator",
+    "TaxCalculatorPersistent",
+    "BasketManager",
+    "BasketManagerPersistent",
+    "ShoppingBasket",
+    "ShoppingBasketPersistent",
+    "BookSeller",
+    "BookSellerRemoteBaskets",
+    "BookstoreApp",
+    "OptimizationLevel",
+    "deploy_bookstore",
+]

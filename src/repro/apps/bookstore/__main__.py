@@ -1,0 +1,165 @@
+"""The BookBuyer console (paper Section 5.5).
+
+"BookBuyer runs in a console.  It displays text menus and communicates
+with the PriceGrabber, BookSeller, and TaxCalculator to fulfil user
+requests."
+
+Run interactively::
+
+    python -m repro.apps.bookstore
+
+or scripted (the paper "rewrote the BookBuyer client to automatically
+generate inputs")::
+
+    python -m repro.apps.bookstore --auto [iterations]
+
+The console includes a ``crash`` command so you can kill the server
+process mid-session and watch the shop carry on.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ...errors import ApplicationError, ComponentUnavailableError
+from .buyer import BookBuyer
+from .deploy import OptimizationLevel, deploy_bookstore
+
+_MENU = """\
+commands:
+  search <keyword>      find books across all stores
+  buy <store> <title>   buy a title and add it to your basket
+  basket                show your basket
+  total                 subtotal + tax for your basket
+  clear                 empty your basket
+  crash                 kill the server process (then keep shopping!)
+  stats                 simulated time / forces / crashes
+  quit
+"""
+
+
+class Console:
+    def __init__(self, level: str = "specialized"):
+        self.app = deploy_bookstore(level=OptimizationLevel(level))
+        self.buyer_id = "console-buyer"
+        self.region = "wa"
+
+    def _guarded(self, bound, *args):
+        try:
+            return bound(*args)
+        except ComponentUnavailableError:
+            print("(the server crashed mid-request; retrying...)")
+            return bound(*args)
+
+    def cmd_search(self, keyword: str) -> None:
+        hits = self._guarded(self.app.price_grabber.search, keyword)
+        if not hits:
+            print(f"no books match {keyword!r}")
+            return
+        for store, title, price in hits:
+            print(f"  store {store}: {title}  ${price:.2f}")
+
+    def cmd_buy(self, store_text: str, title: str) -> None:
+        store_index = int(store_text)
+        store = self.app.stores[store_index]
+        try:
+            price = self._guarded(store.buy, title)
+        except ApplicationError as exc:
+            print(f"  cannot buy: {exc}")
+            return
+        count = self._guarded(
+            self.app.seller.add_to_basket,
+            self.buyer_id, store_index, title, price,
+        )
+        print(f"  bought for ${price:.2f}; basket has {count} item(s)")
+
+    def cmd_basket(self) -> None:
+        contents = self._guarded(
+            self.app.seller.show_basket, self.buyer_id
+        )
+        if not contents:
+            print("  (empty)")
+        for store, title, price in contents:
+            print(f"  store {store}: {title}  ${price:.2f}")
+
+    def cmd_total(self) -> None:
+        subtotal = self._guarded(
+            self.app.seller.basket_subtotal, self.buyer_id
+        )
+        total = self._guarded(
+            self.app.tax_calculator.total_with_tax, subtotal, self.region
+        )
+        print(f"  subtotal ${subtotal:.2f}, with {self.region} tax "
+              f"${total:.2f}")
+
+    def cmd_clear(self) -> None:
+        removed = self._guarded(self.app.seller.clear_basket, self.buyer_id)
+        print(f"  removed {removed} item(s)")
+
+    def cmd_crash(self) -> None:
+        self.app.runtime.crash_process(self.app.server_process)
+        print("  server process killed; your basket is on the log.")
+
+    def cmd_stats(self) -> None:
+        runtime = self.app.runtime
+        process = self.app.server_process
+        print(f"  simulated time: {runtime.now / 1000:.2f} s")
+        print(f"  log forces:     {process.log.stats.forces_performed}")
+        print(f"  crashes:        {process.crash_count} "
+              f"(recoveries: {process.recovery_count})")
+
+    def repl(self) -> None:
+        print("Phoenix/App online bookstore — type 'help' for commands")
+        while True:
+            try:
+                line = input("bookstore> ").strip()
+            except EOFError:
+                break
+            if not line:
+                continue
+            command, *rest = line.split(" ", 2)
+            if command in ("quit", "exit"):
+                break
+            if command == "help":
+                print(_MENU)
+            elif command == "search" and rest:
+                self.cmd_search(rest[0])
+            elif command == "buy" and len(rest) == 2:
+                self.cmd_buy(rest[0], rest[1])
+            elif command == "basket":
+                self.cmd_basket()
+            elif command == "total":
+                self.cmd_total()
+            elif command == "clear":
+                self.cmd_clear()
+            elif command == "crash":
+                self.cmd_crash()
+            elif command == "stats":
+                self.cmd_stats()
+            else:
+                print("unrecognized; type 'help'")
+
+
+def auto_session(iterations: int) -> int:
+    app = deploy_bookstore()
+    buyer = BookBuyer(app)
+    report = buyer.run_session(iterations=iterations)
+    print(f"{iterations} iterations of the Section 5.5 operation mix:")
+    print(f"  elapsed: {report.elapsed_ms / iterations:.1f} ms/iteration")
+    print(f"  forces:  {report.forces / iterations:.1f} per iteration")
+    print(f"  receipts all equal: "
+          f"{len(set(report.totals)) == 1} (${report.totals[0]})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--auto" in argv:
+        index = argv.index("--auto")
+        iterations = int(argv[index + 1]) if len(argv) > index + 1 else 10
+        return auto_session(iterations)
+    Console().repl()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,135 @@
+"""The BookBuyer — the external console client (paper Section 5.5).
+
+"BookBuyer runs in a console.  It displays text menus and communicates
+with the PriceGrabber, BookSeller, and TaxCalculator to fulfil user
+requests.  To test performance, we rewrote the BookBuyer client to
+automatically generate inputs."
+
+The automated session repeats the paper's operation mix:
+
+  i)   search books with the keyword "recovery";
+  ii)  add a book from each bookstore to the shopping basket;
+  iii) show the shopping basket and compute the total price with tax;
+  iv)  remove all books from the shopping basket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ComponentUnavailableError
+from .deploy import BookstoreApp
+
+
+@dataclass
+class SessionReport:
+    """What one automated buying session did and observed."""
+
+    iterations: int = 0
+    searches: int = 0
+    hits_seen: int = 0
+    books_added: int = 0
+    totals: list = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    forces: int = 0
+    retries: int = 0
+
+
+class BookBuyer:
+    """External client driving the bookstore through proxies.
+
+    External components get no exactly-once guarantee; the buyer's
+    coping strategy is the obvious one — retry the operation — which is
+    also how the tests exercise the paper's window-of-vulnerability
+    analysis (Section 3.1.2).
+    """
+
+    def __init__(self, app: BookstoreApp, buyer_id: str = "buyer-1",
+                 region: str = "wa", max_retries: int = 8):
+        self.app = app
+        self.buyer_id = buyer_id
+        self.region = region
+        self.max_retries = max_retries
+        self._retries = 0
+
+    # ------------------------------------------------------------------
+    def _call(self, bound_method, *args):
+        """Call with manual retry: the external client's condition 4."""
+        attempts = 0
+        while True:
+            try:
+                return bound_method(*args)
+            except ComponentUnavailableError:
+                attempts += 1
+                self._retries += 1
+                if attempts > self.max_retries:
+                    raise
+
+    # ------------------------------------------------------------------
+    # the paper's operation mix
+    # ------------------------------------------------------------------
+    def run_iteration(self, keyword: str = "recovery") -> dict:
+        app = self.app
+        # i) keyword search through the PriceGrabber
+        hits = self._call(app.price_grabber.search, keyword)
+
+        # ii) buy one (the cheapest) matching book from each store: check
+        # the price, record the sale at the store, add it to the basket
+        added = []
+        per_store: dict[int, tuple] = {}
+        for store_index, title, price in hits:
+            best = per_store.get(store_index)
+            if best is None or price < best[2]:
+                per_store[store_index] = (store_index, title, price)
+        for store_index in sorted(per_store):
+            store_index, title, price = per_store[store_index]
+            store = app.stores[store_index]
+            quoted = self._call(store.price, title)
+            charged = self._call(store.buy, title)
+            if abs(charged - quoted) > 1e-9:
+                raise AssertionError("store changed the price mid-purchase")
+            self._call(
+                app.seller.add_to_basket,
+                self.buyer_id, store_index, title, charged,
+            )
+            added.append((store_index, title, charged))
+
+        # iii) show the basket; compute the total including tax
+        contents = self._call(app.seller.show_basket, self.buyer_id)
+        subtotal = self._call(app.seller.basket_subtotal, self.buyer_id)
+        total = self._call(
+            app.tax_calculator.total_with_tax, subtotal, self.region
+        )
+
+        # iv) remove all books
+        removed = self._call(app.seller.clear_basket, self.buyer_id)
+
+        return {
+            "hits": len(hits),
+            "added": added,
+            "basket_size": len(contents),
+            "subtotal": subtotal,
+            "total": total,
+            "removed": removed,
+        }
+
+    def run_session(
+        self, iterations: int = 10, keyword: str = "recovery"
+    ) -> SessionReport:
+        """Run the op mix repeatedly; report elapsed time and forces the
+        way Table 8 does."""
+        runtime = self.app.runtime
+        report = SessionReport()
+        forces_before = self.app.server_log_forces()
+        started = runtime.now
+        for _ in range(iterations):
+            outcome = self.run_iteration(keyword)
+            report.iterations += 1
+            report.searches += 1
+            report.hits_seen += outcome["hits"]
+            report.books_added += len(outcome["added"])
+            report.totals.append(outcome["total"])
+        report.elapsed_ms = runtime.now - started
+        report.forces = self.app.server_log_forces() - forces_before
+        report.retries = self._retries
+        return report

@@ -1,0 +1,41 @@
+"""Synthetic book catalog.
+
+The paper's demo searches for the keyword "recovery" — fitting, for a
+recovery paper — so the generated titles are built from a small
+database-systems vocabulary that guarantees keyword hits in every store.
+Generation is deterministic (seeded by the store index): replay and
+repeated runs always see the same inventory.
+"""
+
+from __future__ import annotations
+
+_SUBJECTS = [
+    "recovery", "logging", "transactions", "indexing", "replication",
+    "checkpointing", "concurrency", "durability", "serialization",
+    "messaging",
+]
+_QUALIFIERS = [
+    "Principles of", "Advanced", "Practical", "A Primer on",
+    "The Art of", "Foundations of", "Efficient", "Distributed",
+]
+
+
+def make_catalog(store_index: int, size: int = 24) -> dict[str, float]:
+    """Inventory for one bookstore: title -> price.
+
+    Prices differ between stores (store_index enters the formula) so the
+    PriceGrabber's cross-store comparison is meaningful.
+    """
+    inventory: dict[str, float] = {}
+    for i in range(size):
+        subject = _SUBJECTS[i % len(_SUBJECTS)]
+        qualifier = _QUALIFIERS[(i // len(_SUBJECTS)) % len(_QUALIFIERS)]
+        title = f"{qualifier} {subject.title()} (vol. {i // len(_SUBJECTS) + 1})"
+        price = round(19.0 + (i * 7 + store_index * 3) % 40 + 0.99, 2)
+        inventory[title] = price
+    return inventory
+
+
+def titles_matching(inventory: dict[str, float], keyword: str) -> list[str]:
+    needle = keyword.lower()
+    return sorted(t for t in inventory if needle in t.lower())

@@ -1,0 +1,254 @@
+"""The online bookstore's components (paper Section 5.5, Figure 10).
+
+Six component kinds, with the optimized deployment's types shown as the
+paper marks them in Figure 10:
+
+* ``Bookstore`` (p) — per-store inventory; ``search`` is a read-only
+  method;
+* ``PriceGrabber`` (r) — keyword search across all bookstores;
+* ``TaxCalculator`` (f) — pure sales-tax computation;
+* ``BookSeller`` (p) — manages one BasketManager per buyer;
+* ``BasketManager`` (s) + ``ShoppingBasket`` (s) — per-buyer basket
+  state, subordinate to the seller;
+* ``BookBuyer`` — external console client (see
+  :mod:`repro.apps.bookstore.buyer`).
+
+Each specialized component also has a ``...Persistent`` variant so the
+application can be deployed at the paper's three optimization levels
+(Table 8): the baseline and optimized-persistent levels run every
+component as an ordinary persistent component in its own context, while
+the specialized level uses the types above.
+"""
+
+from __future__ import annotations
+
+from ...core import (
+    PersistentComponent,
+    functional,
+    persistent,
+    read_only,
+    read_only_method,
+    subordinate,
+)
+from ...errors import ApplicationError
+from .catalog import titles_matching
+
+
+# ----------------------------------------------------------------------
+# Bookstore (persistent in every deployment)
+# ----------------------------------------------------------------------
+@persistent
+class Bookstore(PersistentComponent):
+    """Inventory of one store.  ``search``/``price`` are read-only
+    methods; the read-only-method optimization only applies when the
+    runtime config enables it (Section 3.3)."""
+
+    def __init__(self, inventory: dict):
+        self.inventory = dict(inventory)
+        self.sold: dict[str, int] = {}
+
+    @read_only_method
+    def search(self, keyword: str) -> list:
+        """Titles matching the keyword, with prices."""
+        return [
+            (title, self.inventory[title])
+            for title in titles_matching(self.inventory, keyword)
+        ]
+
+    @read_only_method
+    def price(self, title: str) -> float:
+        try:
+            return self.inventory[title]
+        except KeyError:
+            raise ApplicationError(f"no such title: {title!r}") from None
+
+    def buy(self, title: str) -> float:
+        """Record a sale; returns the price charged."""
+        price = self.inventory.get(title)
+        if price is None:
+            raise ApplicationError(f"no such title: {title!r}")
+        self.sold[title] = self.sold.get(title, 0) + 1
+        return price
+
+
+# ----------------------------------------------------------------------
+# PriceGrabber: read-only in the specialized deployment
+# ----------------------------------------------------------------------
+class _PriceGrabberLogic(PersistentComponent):
+    def __init__(self, stores: list):
+        self.stores = list(stores)
+
+    def search(self, keyword: str) -> list:
+        """Keyword search across all bookstores.
+
+        Returns (store_index, title, price) triples, cheapest first per
+        title — the roll-up the paper's Section 5.5.2 describes."""
+        hits = []
+        for index, store in enumerate(self.stores):
+            for title, price in store.search(keyword):
+                hits.append((index, title, price))
+        hits.sort(key=lambda hit: (hit[1], hit[2], hit[0]))
+        return hits
+
+
+@read_only
+class PriceGrabber(_PriceGrabberLogic):
+    """Stateless meta-search over the bookstores (type 'r')."""
+
+
+@persistent
+class PriceGrabberPersistent(_PriceGrabberLogic):
+    """The same component deployed as ordinary persistent (levels 1-2)."""
+
+
+# ----------------------------------------------------------------------
+# TaxCalculator: functional in the specialized deployment
+# ----------------------------------------------------------------------
+_TAX_RATES = {"wa": 0.095, "ca": 0.0725, "ny": 0.08875, "or": 0.0}
+
+
+class _TaxLogic(PersistentComponent):
+    def tax(self, subtotal: float, region: str) -> float:
+        """Sales tax for a subtotal — purely functional."""
+        rate = _TAX_RATES.get(region.lower(), 0.05)
+        return round(subtotal * rate, 2)
+
+    def total_with_tax(self, subtotal: float, region: str) -> float:
+        return round(subtotal + self.tax(subtotal, region), 2)
+
+
+@functional
+class TaxCalculator(_TaxLogic):
+    """Pure computation (type 'f'): nothing logged on either side."""
+
+
+@persistent
+class TaxCalculatorPersistent(_TaxLogic):
+    """The same component deployed as ordinary persistent (levels 1-2)."""
+
+
+# ----------------------------------------------------------------------
+# ShoppingBasket / BasketManager: subordinates of the seller
+# ----------------------------------------------------------------------
+class _ShoppingBasketLogic(PersistentComponent):
+    def __init__(self):
+        self.items: list = []  # (store_index, title, price)
+
+    def add(self, store_index: int, title: str, price: float) -> int:
+        self.items.append((store_index, title, price))
+        return len(self.items)
+
+    def contents(self) -> list:
+        return list(self.items)
+
+    def subtotal(self) -> float:
+        return round(sum(price for _, _, price in self.items), 2)
+
+    def clear(self) -> int:
+        removed = len(self.items)
+        self.items = []
+        return removed
+
+
+@subordinate
+class ShoppingBasket(_ShoppingBasketLogic):
+    """Basket state, subordinate to the seller's context (type 's')."""
+
+
+@persistent
+class ShoppingBasketPersistent(_ShoppingBasketLogic):
+    """Basket as an ordinary persistent component (levels 1-2)."""
+
+
+class _BasketManagerLogic(PersistentComponent):
+    """Per-buyer basket manager; ``self.basket`` is set by subclasses."""
+
+    basket = None
+
+    def add(self, store_index: int, title: str, price: float) -> int:
+        return self.basket.add(store_index, title, price)
+
+    def show(self) -> list:
+        return self.basket.contents()
+
+    def subtotal(self) -> float:
+        return self.basket.subtotal()
+
+    def clear(self) -> int:
+        return self.basket.clear()
+
+
+@subordinate
+class BasketManager(_BasketManagerLogic):
+    """Specialized deployment: manager and its basket are subordinates
+    in the seller's context — their calls are never intercepted."""
+
+    def __init__(self):
+        self.basket = self.new_subordinate(ShoppingBasket)
+
+
+@persistent
+class BasketManagerPersistent(_BasketManagerLogic):
+    """Levels 1-2: the manager is a parent component and the basket is a
+    separate persistent component reached by proxy."""
+
+    def __init__(self, basket_proxy):
+        self.basket = basket_proxy
+
+
+# ----------------------------------------------------------------------
+# BookSeller
+# ----------------------------------------------------------------------
+class _BookSellerLogic(PersistentComponent):
+    """Buyer-facing operations; `_basket` resolution differs per level."""
+
+    def _basket(self, buyer_id: str):
+        raise NotImplementedError
+
+    def add_to_basket(
+        self, buyer_id: str, store_index: int, title: str, price: float
+    ) -> int:
+        return self._basket(buyer_id).add(store_index, title, price)
+
+    def show_basket(self, buyer_id: str) -> list:
+        return self._basket(buyer_id).show()
+
+    def basket_subtotal(self, buyer_id: str) -> float:
+        return self._basket(buyer_id).subtotal()
+
+    def clear_basket(self, buyer_id: str) -> int:
+        return self._basket(buyer_id).clear()
+
+
+@persistent
+class BookSeller(_BookSellerLogic):
+    """Specialized deployment: basket managers are created lazily as
+    subordinates — creation happens inside the seller's own
+    deterministic execution, so it replays without creation records."""
+
+    def __init__(self):
+        self.baskets: dict = {}
+
+    def _basket(self, buyer_id: str):
+        handle = self.baskets.get(buyer_id)
+        if handle is None:
+            handle = self.new_subordinate(BasketManager)
+            self.baskets[buyer_id] = handle
+        return handle
+
+
+@persistent
+class BookSellerRemoteBaskets(_BookSellerLogic):
+    """Levels 1-2: basket managers are separate persistent components,
+    pre-deployed and handed to the seller as proxies."""
+
+    def __init__(self, basket_managers: dict):
+        self.baskets = dict(basket_managers)
+
+    def _basket(self, buyer_id: str):
+        try:
+            return self.baskets[buyer_id]
+        except KeyError:
+            raise ApplicationError(
+                f"no basket manager deployed for {buyer_id!r}"
+            ) from None

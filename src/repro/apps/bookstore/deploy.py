@@ -1,0 +1,135 @@
+"""Deployment of the bookstore at the paper's three optimization levels.
+
+Table 8 compares:
+
+1. **baseline** — Algorithm 1 everywhere; every component persistent
+   (except the BookBuyer, which is external);
+2. **optimized_persistent** — Algorithms 2/3 for persistent components;
+   still no specialized types or read-only methods;
+3. **specialized** — component types (read-only PriceGrabber, functional
+   TaxCalculator, subordinate baskets) and read-only methods.
+
+As in the paper's experiment, the BookBuyer runs on one machine and all
+server components run on the other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...core import AppProcess, PhoenixRuntime, RuntimeConfig
+from ...errors import ConfigurationError
+from .catalog import make_catalog
+from .components import (
+    BasketManager,
+    BasketManagerPersistent,
+    BookSeller,
+    BookSellerRemoteBaskets,
+    Bookstore,
+    PriceGrabber,
+    PriceGrabberPersistent,
+    ShoppingBasketPersistent,
+    TaxCalculator,
+    TaxCalculatorPersistent,
+)
+
+
+class OptimizationLevel(enum.Enum):
+    BASELINE = "baseline"
+    OPTIMIZED_PERSISTENT = "optimized_persistent"
+    SPECIALIZED = "specialized"
+
+    @property
+    def config(self) -> RuntimeConfig:
+        if self is OptimizationLevel.BASELINE:
+            return RuntimeConfig.baseline()
+        if self is OptimizationLevel.OPTIMIZED_PERSISTENT:
+            return RuntimeConfig.optimized(
+                read_only_method_optimization=False
+            )
+        return RuntimeConfig.optimized()
+
+
+@dataclass
+class BookstoreApp:
+    """Handles to a deployed bookstore."""
+
+    runtime: PhoenixRuntime
+    level: OptimizationLevel
+    server_process: AppProcess
+    stores: list = field(default_factory=list)
+    price_grabber: object = None
+    tax_calculator: object = None
+    seller: object = None
+    buyer_ids: tuple = ()
+
+    def server_log_forces(self) -> int:
+        return self.server_process.log.stats.forces_performed
+
+
+def deploy_bookstore(
+    level: OptimizationLevel | str = OptimizationLevel.SPECIALIZED,
+    runtime: PhoenixRuntime | None = None,
+    n_stores: int = 2,
+    buyer_ids: tuple = ("buyer-1",),
+    server_machine: str = "beta",
+    buyer_machine: str = "alpha",
+    catalog_size: int = 24,
+    multicall: bool = False,
+) -> BookstoreApp:
+    """Deploy the bookstore; returns proxies for the buyer to drive.
+
+    All server components share one process on ``server_machine`` (the
+    paper runs them on one machine with the buyer on the other, so
+    "logging is only on the server machine").
+    """
+    if isinstance(level, str):
+        level = OptimizationLevel(level)
+    if runtime is None:
+        config = level.config
+        if multicall:
+            config = config.with_overrides(multicall_optimization=True)
+        runtime = PhoenixRuntime(config=config)
+    if n_stores < 1:
+        raise ConfigurationError("need at least one bookstore")
+
+    runtime.external_client_machine = buyer_machine
+    process = runtime.spawn_process("bookstore-app", machine=server_machine)
+
+    stores = [
+        process.create_component(
+            Bookstore, args=(make_catalog(i, catalog_size),)
+        )
+        for i in range(n_stores)
+    ]
+
+    specialized = level is OptimizationLevel.SPECIALIZED
+    grabber_cls = PriceGrabber if specialized else PriceGrabberPersistent
+    price_grabber = process.create_component(grabber_cls, args=(stores,))
+    tax_cls = TaxCalculator if specialized else TaxCalculatorPersistent
+    tax_calculator = process.create_component(tax_cls)
+
+    if specialized:
+        seller = process.create_component(BookSeller)
+    else:
+        managers = {}
+        for buyer_id in buyer_ids:
+            basket = process.create_component(ShoppingBasketPersistent)
+            managers[buyer_id] = process.create_component(
+                BasketManagerPersistent, args=(basket,)
+            )
+        seller = process.create_component(
+            BookSellerRemoteBaskets, args=(managers,)
+        )
+
+    return BookstoreApp(
+        runtime=runtime,
+        level=level,
+        server_process=process,
+        stores=stores,
+        price_grabber=price_grabber,
+        tax_calculator=tax_calculator,
+        seller=seller,
+        buyer_ids=tuple(buyer_ids),
+    )

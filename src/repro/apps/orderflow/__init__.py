@@ -1,0 +1,36 @@
+"""Order-processing pipeline — a second Phoenix/App application.
+
+The bookstore (Section 5.5) is the paper's own demo; this application
+exercises the component-type system on the paper's *motivating* domain
+— "enterprise applications, such as web services and middleware
+systems" (Section 1.1) — with a different interaction shape:
+
+* every placed order fans out from one persistent orchestrator to
+  several persistent servers (the Section 3.5 multi-call optimization's
+  natural habitat);
+* a read-only fraud screen reads persistent state owned by another
+  component;
+* a functional pricing engine computes totals;
+* per-customer order books are subordinates of the orchestrator.
+"""
+
+from .components import (
+    CustomerLedger,
+    FraudScreen,
+    Inventory,
+    OrderBook,
+    OrderDesk,
+    PricingEngine,
+)
+from .deploy import OrderflowApp, deploy_orderflow
+
+__all__ = [
+    "OrderDesk",
+    "OrderBook",
+    "Inventory",
+    "CustomerLedger",
+    "PricingEngine",
+    "FraudScreen",
+    "OrderflowApp",
+    "deploy_orderflow",
+]

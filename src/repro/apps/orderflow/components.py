@@ -1,0 +1,201 @@
+"""Components of the order-processing pipeline.
+
+Call graph (arrows are method calls)::
+
+    client (external)
+       └─> OrderDesk (p)
+             ├─> FraudScreen (r) ──> CustomerLedger (p, read-only method)
+             ├─> PricingEngine (f)
+             ├─> Inventory (p)
+             ├─> CustomerLedger (p)
+             └─> OrderBook (s)   [per customer, in the desk's context]
+"""
+
+from __future__ import annotations
+
+from ...core import (
+    PersistentComponent,
+    functional,
+    persistent,
+    read_only,
+    read_only_method,
+    subordinate,
+)
+from ...errors import ApplicationError
+
+
+@persistent
+class Inventory(PersistentComponent):
+    """Stock levels per SKU; reservations are the side effect the tests
+    assert exactly-once on."""
+
+    def __init__(self, stock: dict):
+        self.stock = dict(stock)
+        self.reservations = 0
+        self.releases = 0
+
+    def reserve(self, sku: str, quantity: int) -> int:
+        available = self.stock.get(sku, 0)
+        if quantity <= 0:
+            raise ApplicationError(f"bad quantity {quantity}")
+        if available < quantity:
+            raise ApplicationError(
+                f"only {available} of {sku!r} in stock"
+            )
+        self.stock[sku] = available - quantity
+        self.reservations += 1
+        return self.stock[sku]
+
+    def release(self, sku: str, quantity: int) -> int:
+        self.stock[sku] = self.stock.get(sku, 0) + quantity
+        self.releases += 1
+        return self.stock[sku]
+
+    @read_only_method
+    def available(self, sku: str) -> int:
+        return self.stock.get(sku, 0)
+
+
+@persistent
+class CustomerLedger(PersistentComponent):
+    """Lifetime spend per customer (fraud screening reads it)."""
+
+    def __init__(self, credit_limit: float = 10_000.0):
+        self.credit_limit = credit_limit
+        self.spend: dict = {}
+
+    def charge(self, customer: str, amount: float) -> float:
+        total = round(self.spend.get(customer, 0.0) + amount, 2)
+        self.spend[customer] = total
+        return total
+
+    def refund(self, customer: str, amount: float) -> float:
+        total = round(self.spend.get(customer, 0.0) - amount, 2)
+        self.spend[customer] = total
+        return total
+
+    @read_only_method
+    def exposure(self, customer: str) -> float:
+        return self.spend.get(customer, 0.0)
+
+    @read_only_method
+    def limit(self) -> float:
+        return self.credit_limit
+
+
+@functional
+class PricingEngine(PersistentComponent):
+    """Pure price computation: unit price book + volume discounts."""
+
+    PRICES = {"widget": 9.99, "gadget": 24.50, "gizmo": 149.00}
+
+    def quote(self, sku: str, quantity: int) -> float:
+        unit = self.PRICES.get(sku)
+        if unit is None:
+            raise ApplicationError(f"no price for {sku!r}")
+        subtotal = unit * quantity
+        if quantity >= 100:
+            subtotal *= 0.85
+        elif quantity >= 10:
+            subtotal *= 0.95
+        return round(subtotal, 2)
+
+
+@read_only
+class FraudScreen(PersistentComponent):
+    """Stateless risk check over the (persistent) ledger."""
+
+    def __init__(self, ledger):
+        self.ledger = ledger
+
+    def check(self, customer: str, amount: float) -> str:
+        exposure = self.ledger.exposure(customer)
+        limit = self.ledger.limit()
+        if exposure + amount > limit:
+            return "reject"
+        if amount > limit / 2:
+            return "review"
+        return "approve"
+
+
+@subordinate
+class OrderBook(PersistentComponent):
+    """Per-customer order history, subordinate to the desk."""
+
+    def __init__(self):
+        self.orders: list = []
+
+    def append(self, order: dict) -> int:
+        self.orders.append(order)
+        return len(self.orders)
+
+    def history(self) -> list:
+        return list(self.orders)
+
+    def order_count(self) -> int:
+        return len(self.orders)
+
+
+@persistent
+class OrderDesk(PersistentComponent):
+    """The orchestrator: one incoming call fans out across the tier."""
+
+    def __init__(self, inventory, ledger, pricing, fraud):
+        self.inventory = inventory
+        self.ledger = ledger
+        self.pricing = pricing
+        self.fraud = fraud
+        self.books: dict = {}
+        self.next_order_id = 1
+        self.rejected = 0
+
+    def _book(self, customer: str):
+        book = self.books.get(customer)
+        if book is None:
+            book = self.new_subordinate(OrderBook)
+            self.books[customer] = book
+        return book
+
+    def place_order(self, customer: str, sku: str, quantity: int) -> dict:
+        """The full pipeline: price, screen, reserve, charge, record."""
+        total = self.pricing.quote(sku, quantity)
+        verdict = self.fraud.check(customer, total)
+        if verdict == "reject":
+            self.rejected += 1
+            raise ApplicationError(
+                f"order rejected: {customer} over credit limit"
+            )
+        remaining = self.inventory.reserve(sku, quantity)
+        exposure = self.ledger.charge(customer, total)
+        order_id = self.next_order_id
+        self.next_order_id += 1
+        order = {
+            "order_id": order_id,
+            "customer": customer,
+            "sku": sku,
+            "quantity": quantity,
+            "total": total,
+            "verdict": verdict,
+            "stock_left": remaining,
+        }
+        self._book(customer).append(order)
+        return order
+
+    def cancel_order(self, customer: str, order_id: int) -> dict:
+        book = self._book(customer)
+        for order in book.history():
+            if order["order_id"] == order_id:
+                self.inventory.release(order["sku"], order["quantity"])
+                self.ledger.refund(customer, order["total"])
+                cancelled = dict(order)
+                cancelled["cancelled"] = True
+                book.append(cancelled)
+                return cancelled
+        raise ApplicationError(f"no order {order_id} for {customer}")
+
+    def order_history(self, customer: str) -> list:
+        return self._book(customer).history()
+
+    @read_only_method
+    def rejected_count(self) -> int:
+        return self.rejected

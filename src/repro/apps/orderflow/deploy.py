@@ -1,0 +1,72 @@
+"""Deployment of the order-processing pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core import AppProcess, PhoenixRuntime, RuntimeConfig
+
+DEFAULT_STOCK = {"widget": 1_000, "gadget": 500, "gizmo": 40}
+
+
+@dataclass
+class OrderflowApp:
+    runtime: PhoenixRuntime
+    desk_process: AppProcess
+    backend_process: AppProcess
+    desk: object = None
+    inventory: object = None
+    ledger: object = None
+    pricing: object = None
+    fraud: object = None
+
+    def total_forces(self) -> int:
+        return (
+            self.desk_process.log.stats.forces_performed
+            + self.backend_process.log.stats.forces_performed
+        )
+
+
+def deploy_orderflow(
+    runtime: PhoenixRuntime | None = None,
+    stock: dict | None = None,
+    credit_limit: float = 10_000.0,
+    multicall: bool = False,
+    desk_machine: str = "alpha",
+    backend_machine: str = "beta",
+) -> OrderflowApp:
+    """Two processes: the order desk on one machine, the backend tier
+    (inventory, ledger, pricing, fraud) on the other."""
+    if runtime is None:
+        config = RuntimeConfig.optimized(multicall_optimization=multicall)
+        runtime = PhoenixRuntime(config=config)
+    backend = runtime.spawn_process("orderflow-backend", machine=backend_machine)
+    from .components import (
+        CustomerLedger,
+        FraudScreen,
+        Inventory,
+        OrderDesk,
+        PricingEngine,
+    )
+
+    inventory = backend.create_component(
+        Inventory, args=(dict(stock or DEFAULT_STOCK),)
+    )
+    ledger = backend.create_component(CustomerLedger, args=(credit_limit,))
+    pricing = backend.create_component(PricingEngine)
+    fraud = backend.create_component(FraudScreen, args=(ledger,))
+
+    desk_process = runtime.spawn_process("orderflow-desk", machine=desk_machine)
+    desk = desk_process.create_component(
+        OrderDesk, args=(inventory, ledger, pricing, fraud)
+    )
+    return OrderflowApp(
+        runtime=runtime,
+        desk_process=desk_process,
+        backend_process=backend,
+        desk=desk,
+        inventory=inventory,
+        ledger=ledger,
+        pricing=pricing,
+        fraud=fraud,
+    )

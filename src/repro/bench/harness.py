@@ -1,0 +1,309 @@
+"""Micro-benchmark harness (paper Section 5.1).
+
+"The micro-benchmark setup consisted of a client component making method
+calls to a server component.  We measured the round trip elapsed time of
+a method call to the server component from inside the client component
+(i.e. from inside the client object instance)."
+
+The harness reproduces that exactly: for Phoenix client kinds, a batch
+component performs N calls *inside one of its own method executions* and
+reports the elapsed simulated time it observed; per-call time is
+total / N, just as the paper divides by the number of calls to beat its
+coarse OS timer.  (Reading the clock makes the batch components
+deliberately non-replayable — they exist only for measurement and are
+never crashed.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.types import ComponentType
+from ..core import (
+    PersistentComponent,
+    PhoenixRuntime,
+    RuntimeConfig,
+    functional,
+    persistent,
+    read_only,
+    read_only_method,
+    subordinate,
+)
+from ..errors import ConfigurationError
+
+CLIENT_KINDS = ("external", "persistent", "read_only", "context_bound")
+SERVER_KINDS = (
+    "marshal_by_ref",
+    "context_bound",
+    "context_bound_intercepted",
+    "persistent",
+    "persistent_ro_method",
+    "read_only",
+    "functional",
+    "subordinate",
+)
+
+
+# ----------------------------------------------------------------------
+# server components
+# ----------------------------------------------------------------------
+@persistent
+class PingServer(PersistentComponent):
+    """The persistent micro-benchmark server."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def ping(self, value):
+        self.calls += 1
+        return value
+
+    @read_only_method
+    def ping_ro(self, value):
+        return value
+
+
+@read_only
+class ReadOnlyPingServer(PersistentComponent):
+    def ping(self, value):
+        return value
+
+
+@functional
+class FunctionalPingServer(PersistentComponent):
+    def ping(self, value):
+        return value
+
+
+@subordinate
+class SubordinatePingServer(PersistentComponent):
+    def __init__(self):
+        self.calls = 0
+
+    def ping(self, value):
+        self.calls += 1
+        return value
+
+
+class NativePingServer:
+    """A plain object for the native .NET rows of Table 4."""
+
+    def ping(self, value):
+        return value
+
+
+# ----------------------------------------------------------------------
+# batch clients (measure from inside the client object)
+# ----------------------------------------------------------------------
+class _BatchMixin(PersistentComponent):
+    """Runs N calls inside one method execution and times them.
+
+    Clock access makes this non-replayable by design; see module doc.
+    """
+
+    def __init__(self, target=None):
+        self.target = target
+        self.sub = None
+
+    def _clock(self):
+        return self._phoenix_context.runtime.clock
+
+    def batch(self, n: int, method: str = "ping") -> float:
+        """N calls to the target; returns elapsed simulated ms."""
+        call = getattr(self.target, method)
+        clock = self._clock()
+        started = clock.now
+        for i in range(n):
+            call(i)
+        return clock.now - started
+
+    def batch_subordinate(self, n: int) -> float:
+        if self.sub is None:
+            self.sub = self.new_subordinate(SubordinatePingServer)
+        clock = self._clock()
+        started = clock.now
+        for i in range(n):
+            self.sub.ping(i)
+        return clock.now - started
+
+
+@persistent
+class PersistentBatchClient(_BatchMixin):
+    pass
+
+
+@read_only
+class ReadOnlyBatchClient(_BatchMixin):
+    pass
+
+
+class NativeBatchClient:
+    """Native (ContextBound) client for the CB->CB rows; it has no
+    Phoenix context, so it times via the runtime handle it was given."""
+
+    def __init__(self, runtime, target):
+        self.runtime = runtime
+        self.target = target
+
+    def batch(self, n: int, method: str = "ping") -> float:
+        call = getattr(self.target, method)
+        clock = self.runtime.clock
+        started = clock.now
+        for i in range(n):
+            call(i)
+        return clock.now - started
+
+
+# ----------------------------------------------------------------------
+# the measurement
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MicrobenchResult:
+    client: str
+    server: str
+    remote: bool
+    optimized: bool
+    per_call_ms: float
+    calls: int
+    forces: int
+    disk_writes: int
+
+
+def run_pair(
+    client: str,
+    server: str,
+    remote: bool = False,
+    optimized: bool = True,
+    calls: int = 300,
+    warmup: int = 20,
+    config: RuntimeConfig | None = None,
+    write_cache: bool = False,
+    save_state_each_call: bool = False,
+) -> MicrobenchResult:
+    """Measure one (client kind, server kind) pair of Tables 4-6."""
+    if client not in CLIENT_KINDS:
+        raise ConfigurationError(f"unknown client kind {client!r}")
+    if server not in SERVER_KINDS:
+        raise ConfigurationError(f"unknown server kind {server!r}")
+    if config is None:
+        config = (
+            RuntimeConfig.optimized()
+            if optimized
+            else RuntimeConfig.baseline()
+        )
+    runtime = PhoenixRuntime(config=config)
+    if write_cache:
+        for machine in runtime.cluster.machines():
+            machine.set_write_cache(True)
+
+    server_machine = "beta" if remote else "alpha"
+    server_process = runtime.spawn_process("bench-srv", machine=server_machine)
+
+    # --- deploy the server ---
+    ro_method = False
+    if server == "marshal_by_ref":
+        target = server_process.create_component(
+            NativePingServer, component_type=ComponentType.MARSHAL_BY_REF
+        )
+    elif server == "context_bound":
+        target = server_process.create_component(
+            NativePingServer, component_type=ComponentType.CONTEXT_BOUND
+        )
+    elif server == "context_bound_intercepted":
+        target = server_process.create_component(
+            NativePingServer,
+            component_type=ComponentType.CONTEXT_BOUND,
+            install_interceptors=True,
+        )
+    elif server in ("persistent", "persistent_ro_method"):
+        target = server_process.create_component(PingServer)
+        ro_method = server == "persistent_ro_method"
+    elif server == "read_only":
+        target = server_process.create_component(ReadOnlyPingServer)
+    elif server == "functional":
+        target = server_process.create_component(FunctionalPingServer)
+    elif server == "subordinate":
+        target = None  # created inside the client's context
+    method = "ping_ro" if ro_method else "ping"
+
+    # --- deploy the client and measure ---
+    client_process = None
+    if client == "external":
+        if server == "subordinate":
+            raise ConfigurationError(
+                "a subordinate cannot be called from outside its context"
+            )
+        runtime.external_client_machine = "alpha"
+        call = getattr(target, method)
+        for i in range(warmup):
+            call(i)
+        forces_before = _forces(client_process, server_process)
+        writes_before = _disk_writes(runtime)
+        started = runtime.now
+        for i in range(calls):
+            call(i)
+        elapsed = runtime.now - started
+    elif client == "context_bound":
+        native = NativeBatchClient(runtime, target)
+        runtime.external_client_machine = "alpha"
+        native.batch(warmup, method)
+        forces_before = _forces(client_process, server_process)
+        writes_before = _disk_writes(runtime)
+        elapsed = native.batch(calls, method)
+    else:
+        client_process = runtime.spawn_process("bench-cli", machine="alpha")
+        cls = (
+            PersistentBatchClient
+            if client == "persistent"
+            else ReadOnlyBatchClient
+        )
+        proxy = client_process.create_component(cls, args=(target,))
+        if server == "subordinate":
+            proxy.batch_subordinate(warmup)
+            forces_before = _forces(client_process, server_process)
+            writes_before = _disk_writes(runtime)
+            elapsed = proxy.batch_subordinate(calls)
+        else:
+            proxy.batch(warmup, method)
+            if save_state_each_call:
+                _enable_save_each_call(runtime, server_process)
+            forces_before = _forces(client_process, server_process)
+            writes_before = _disk_writes(runtime)
+            elapsed = proxy.batch(calls, method)
+
+    forces = _forces(client_process, server_process) - forces_before
+    disk_writes = _disk_writes(runtime) - writes_before
+    return MicrobenchResult(
+        client=client,
+        server=server,
+        remote=remote,
+        optimized=optimized,
+        per_call_ms=elapsed / calls,
+        calls=calls,
+        forces=forces,
+        disk_writes=disk_writes,
+    )
+
+
+def _forces(client_process, server_process) -> int:
+    """Performed log forces across both processes (client may be None)."""
+    total = server_process.log.stats.forces_performed
+    if client_process is not None:
+        total += client_process.log.stats.forces_performed
+    return total
+
+
+def _disk_writes(runtime: PhoenixRuntime) -> int:
+    return sum(
+        machine.disk.stats.writes for machine in runtime.cluster.machines()
+    )
+
+
+def _enable_save_each_call(runtime: PhoenixRuntime, process) -> None:
+    """Flip the server process to save context state on every call
+    (Table 6's 'save state on call' row)."""
+    from ..core.config import CheckpointConfig
+
+    process.config = process.config.with_overrides(
+        checkpoint=CheckpointConfig(context_state_every_n_calls=1)
+    )

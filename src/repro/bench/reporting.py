@@ -1,0 +1,127 @@
+"""Experiment result containers and paper-style text tables.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentTable` carrying measured values side by side with the
+paper's published numbers, so benchmark output and EXPERIMENTS.md can be
+generated from one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One measured value next to the paper's value (None = not given)."""
+
+    measured: float
+    paper: float | None = None
+
+    def format(self, precision: int = 2) -> str:
+        if self.paper is None:
+            return f"{self.measured:.{precision}f}"
+        return f"{self.measured:.{precision}f} (paper {self.paper:g})"
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table or figure."""
+
+    key: str  # e.g. "table4"
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, list[Cell]]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 2
+
+    def add_row(self, label: str, *cells: Cell) -> None:
+        self.rows.append((label, list(cells)))
+
+    def cell(self, row_label: str, column: str) -> Cell:
+        column_index = self.columns.index(column)
+        for label, cells in self.rows:
+            if label == row_label:
+                return cells[column_index]
+        raise KeyError(row_label)
+
+    def format(self) -> str:
+        label_width = max(
+            [len("case")] + [len(label) for label, _ in self.rows]
+        )
+        rendered_rows = [
+            [label.ljust(label_width)]
+            + [cell.format(self.precision) for cell in cells]
+            for label, cells in self.rows
+        ]
+        col_widths = [label_width] + [
+            max(
+                [len(col)]
+                + [len(row[i + 1]) for row in rendered_rows]
+            )
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = ["case".ljust(col_widths[0])] + [
+            col.ljust(col_widths[i + 1])
+            for i, col in enumerate(self.columns)
+        ]
+        lines.append("  ".join(header))
+        lines.append("-" * (sum(col_widths) + 2 * len(col_widths)))
+        for row in rendered_rows:
+            lines.append(
+                "  ".join(
+                    part.ljust(col_widths[i]) for i, part in enumerate(row)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def ascii_chart(
+        self, column: str = None, width: int = 56, height: int = 12
+    ) -> str:
+        """Render one column's measured values as a text chart — used to
+        reproduce the paper's Figure 9 as a figure, not just a table."""
+        column_index = (
+            self.columns.index(column) if column is not None else 0
+        )
+        labels = [label for label, __ in self.rows]
+        values = [
+            cells[column_index].measured for __, cells in self.rows
+        ]
+        if not values:
+            return "(no data)"
+        top = max(values)
+        bottom = 0.0
+        span = top - bottom or 1.0
+        columns_per_point = max(1, width // len(values))
+        grid = [
+            [" "] * (columns_per_point * len(values))
+            for __ in range(height)
+        ]
+        for i, value in enumerate(values):
+            level = int(round((value - bottom) / span * (height - 1)))
+            row = height - 1 - level
+            for j in range(columns_per_point):
+                grid[row][i * columns_per_point + j] = "█"
+        lines = [f"{self.columns[column_index]} (0 .. {top:.1f})"]
+        for row in grid:
+            lines.append("|" + "".join(row))
+        lines.append("+" + "-" * (columns_per_point * len(values)))
+        lines.append(f" {labels[0]} .. {labels[-1]}")
+        return "\n".join(lines)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown (used to build EXPERIMENTS.md)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| case | " + " | ".join(self.columns) + " |")
+        lines.append("|" + "---|" * (len(self.columns) + 1))
+        for label, cells in self.rows:
+            rendered = " | ".join(
+                cell.format(self.precision) for cell in cells
+            )
+            lines.append(f"| {label} | {rendered} |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Checkpointing: context state records and process checkpoints."""
+
+from .fields import capture_fields, restore_fields
+from .policy import CheckpointAdvice, breakeven_interval
+from .process_checkpoint import take_process_checkpoint
+from .state_record import restore_context_state, save_context_state
+
+__all__ = [
+    "capture_fields",
+    "restore_fields",
+    "CheckpointAdvice",
+    "breakeven_interval",
+    "take_process_checkpoint",
+    "restore_context_state",
+    "save_context_state",
+]

@@ -1,0 +1,56 @@
+"""Component field capture and restore (paper Section 4.2).
+
+The paper uses .NET reflection to obtain field types and values; here
+the :class:`PersistentComponent` base-class contract means every
+recoverable field lives in the instance ``__dict__``.  Capture filters
+out the runtime's ``_phoenix_`` bookkeeping, swizzles component
+references (proxy -> URI, local component -> component ID) and returns a
+plain dict the log codec can serialize.  Restore reverses it onto an
+instance created without running its constructor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.component import PHOENIX_FIELD_PREFIX, PersistentComponent
+from ..core.swizzle import swizzle_for_state, unswizzle_for_state
+from ..errors import SerializationError
+from ..log.serialization import encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.context import Context
+
+
+def capture_fields(
+    component: PersistentComponent, context: "Context"
+) -> dict:
+    """Snapshot a component's recoverable fields.
+
+    Raises :class:`SerializationError` (with the field named) if a field
+    holds something the log cannot represent — the same contract .NET
+    serialization imposed on the original system.
+    """
+    fields: dict = {}
+    for name, value in vars(component).items():
+        if name.startswith(PHOENIX_FIELD_PREFIX):
+            continue
+        try:
+            swizzled = swizzle_for_state(value, context)
+            encode_value(swizzled)  # validate eagerly, with a good error
+        except SerializationError as exc:
+            raise SerializationError(
+                f"field {name!r} of {type(component).__name__} cannot be "
+                f"checkpointed: {exc}"
+            ) from None
+        fields[name] = swizzled
+    return fields
+
+
+def restore_fields(
+    component: PersistentComponent, fields: dict, context: "Context"
+) -> None:
+    """Apply captured fields onto a bare instance, resolving saved
+    references back to proxies and subordinate handles."""
+    for name, value in fields.items():
+        setattr(component, name, unswizzle_for_state(value, context))

@@ -1,0 +1,48 @@
+"""Checkpoint-frequency guidance.
+
+Paper Section 5.4 derives the rule of thumb that a context state should
+be saved "every 400 calls or more in the micro-benchmark": the 60 ms
+cost of restoring a state record during recovery pays off once it saves
+more than 60 ms / 0.15 ms-per-call of replay.
+
+This module computes that break-even from whatever cost model is in
+effect, so the rule tracks ablations, and provides the small helper the
+examples use to pick an interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+
+
+@dataclass(frozen=True)
+class CheckpointAdvice:
+    """The break-even analysis behind the paper's ~400-call rule."""
+
+    restore_cost_ms: float
+    replay_cost_per_call_ms: float
+    breakeven_calls: int
+    recommended_interval: int
+
+    def describe(self) -> str:
+        return (
+            f"state-record restore costs {self.restore_cost_ms:.0f} ms ≈ "
+            f"replaying {self.breakeven_calls} calls at "
+            f"{self.replay_cost_per_call_ms:.2f} ms/call; checkpoint "
+            f"every {self.recommended_interval}+ calls"
+        )
+
+
+def breakeven_interval(costs: CostModel = DEFAULT_COSTS) -> CheckpointAdvice:
+    """How many replayed calls one state-record restore is worth."""
+    calls = costs.state_record_restore / costs.replay_per_call
+    breakeven = max(1, math.ceil(calls))
+    return CheckpointAdvice(
+        restore_cost_ms=costs.state_record_restore,
+        replay_cost_per_call_ms=costs.replay_per_call,
+        breakeven_calls=breakeven,
+        recommended_interval=breakeven,
+    )

@@ -1,0 +1,30 @@
+"""Leaf definitions shared by the log and runtime layers.
+
+These are the vocabulary types of the system — component kinds, globally
+unique method-call IDs, component URIs, and the four message kinds of
+paper Figure 1.  They import nothing from the rest of the library, which
+keeps :mod:`repro.log` (which must serialize them) independent from
+:mod:`repro.core` (which manipulates them).  The :mod:`repro.core`
+package re-exports them as the documented public API.
+"""
+
+from .ids import ComponentRef, GlobalCallId, component_uri, parse_uri
+from .messages import (
+    MessageKind,
+    MethodCallMessage,
+    ReplyMessage,
+    SenderInfo,
+)
+from .types import ComponentType
+
+__all__ = [
+    "ComponentRef",
+    "GlobalCallId",
+    "component_uri",
+    "parse_uri",
+    "ComponentType",
+    "MessageKind",
+    "MethodCallMessage",
+    "ReplyMessage",
+    "SenderInfo",
+]

@@ -1,0 +1,95 @@
+"""Globally unique method-call IDs and component URIs.
+
+Paper Section 2.3: the globally unique ID of a method call consists of the
+caller's machine name, a logical process ID assigned by Phoenix/App on
+that machine, a logical component ID within the process, and a local
+method-call sequence number incremented for every outgoing call of the
+component.  The logical IDs survive failures (the recovery service and
+recovery manager reassign the same ones), so IDs regenerated during replay
+are identical to the originals — condition 2 of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvariantViolationError
+
+_URI_SCHEME = "phoenix://"
+
+
+@dataclass(frozen=True, order=True)
+class GlobalCallId:
+    """The four-part globally unique method-call ID."""
+
+    machine: str
+    process_lid: int
+    component_lid: int
+    seq: int
+
+    @property
+    def caller_key(self) -> tuple[str, int, int]:
+        """The first three parts — the last-call table index
+        (paper Section 2.3: entries are 'indexed by the first three
+        parts of the ID')."""
+        return (self.machine, self.process_lid, self.component_lid)
+
+    def next(self) -> "GlobalCallId":
+        """The ID of the caller's next outgoing call."""
+        return GlobalCallId(
+            self.machine, self.process_lid, self.component_lid, self.seq + 1
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.machine}/{self.process_lid}"
+            f"/{self.component_lid}#{self.seq}"
+        )
+
+
+@dataclass(frozen=True)
+class ComponentRef:
+    """A serializable reference to a component, by URI.
+
+    Component fields holding proxies are swizzled to ``ComponentRef``
+    when a context state record is saved (paper Section 4.2: 'for a
+    remote component reference, we save the component URI') and resolved
+    back to live proxies when the state is restored.
+    """
+
+    uri: str
+
+    def __str__(self) -> str:
+        return self.uri
+
+
+@dataclass(frozen=True)
+class LocalRef:
+    """A reference to a component in the *same* context, by component ID.
+
+    Paper Section 4.2: 'for a local component reference (to a component
+    in the same context), we store the component ID'.
+    """
+
+    component_lid: int
+
+
+def component_uri(machine: str, process: str, component_lid: int) -> str:
+    """Build the canonical URI of a component."""
+    return f"{_URI_SCHEME}{machine}/{process}/{component_lid}"
+
+
+def parse_uri(uri: str) -> tuple[str, str, int]:
+    """Split a component URI into (machine, process, component_lid)."""
+    if not uri.startswith(_URI_SCHEME):
+        raise InvariantViolationError(f"not a phoenix URI: {uri!r}")
+    body = uri[len(_URI_SCHEME):]
+    parts = body.split("/")
+    if len(parts) != 3:
+        raise InvariantViolationError(f"malformed phoenix URI: {uri!r}")
+    machine, process, lid_text = parts
+    try:
+        lid = int(lid_text)
+    except ValueError:
+        raise InvariantViolationError(f"malformed phoenix URI: {uri!r}") from None
+    return machine, process, lid

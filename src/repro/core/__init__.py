@@ -1,0 +1,79 @@
+"""The Phoenix/App runtime: components, contexts, interceptors, logging
+policies, processes and the runtime facade."""
+
+from ..common.ids import ComponentRef, GlobalCallId, LocalRef, component_uri, parse_uri
+from ..common.messages import (
+    MessageKind,
+    MethodCallMessage,
+    ReplyMessage,
+    SenderInfo,
+)
+from ..common.types import ComponentType
+from .attributes import (
+    declared_type,
+    functional,
+    is_read_only_method,
+    persistent,
+    read_only,
+    read_only_method,
+    read_only_method_names,
+    subordinate,
+)
+from .component import (
+    ComponentClassRegistry,
+    PersistentComponent,
+    SubordinateHandle,
+)
+from .config import CheckpointConfig, RuntimeConfig
+from .context import Context, ContextMode
+from .interceptor import MessageInterceptor, ReplayOutcome
+from .last_call import LastCallEntry, LastCallTable
+from .policy import LogDecision, LoggingPolicy
+from .process import AppProcess, ProcessState
+from .proxy import ComponentProxy
+from .remote_types import RemoteComponentTypeTable
+from .runtime import PhoenixRuntime, RuntimeStats
+from .tables import ComponentTableEntry, ContextTableEntry, NO_LSN
+
+__all__ = [
+    "ComponentRef",
+    "GlobalCallId",
+    "LocalRef",
+    "component_uri",
+    "parse_uri",
+    "ComponentType",
+    "MessageKind",
+    "MethodCallMessage",
+    "ReplyMessage",
+    "SenderInfo",
+    "persistent",
+    "subordinate",
+    "functional",
+    "read_only",
+    "read_only_method",
+    "declared_type",
+    "is_read_only_method",
+    "read_only_method_names",
+    "PersistentComponent",
+    "SubordinateHandle",
+    "ComponentClassRegistry",
+    "CheckpointConfig",
+    "RuntimeConfig",
+    "Context",
+    "ContextMode",
+    "MessageInterceptor",
+    "ReplayOutcome",
+    "LastCallEntry",
+    "LastCallTable",
+    "LogDecision",
+    "LoggingPolicy",
+    "AppProcess",
+    "ProcessState",
+    "ComponentProxy",
+    "RemoteComponentTypeTable",
+    "PhoenixRuntime",
+    "RuntimeStats",
+    "ComponentTableEntry",
+    "ContextTableEntry",
+    "NO_LSN",
+]

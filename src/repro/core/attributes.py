@@ -1,0 +1,101 @@
+"""Declarative component and method attributes.
+
+Paper Section 2.2: "Programmers specify a component as persistent using a
+customized attribute", and Section 3.4: subordinate, functional and
+read-only components are specified the same way.  In this reproduction
+the attributes are class decorators::
+
+    @persistent
+    class Bookstore(PersistentComponent): ...
+
+    @functional
+    class TaxCalculator(PersistentComponent): ...
+
+    class Bookstore(PersistentComponent):
+        @read_only_method
+        def search(self, keyword): ...
+
+The decorators only tag the class/method; placement and logging decisions
+are made by the runtime when the component is created.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..common.types import ComponentType
+from ..errors import ConfigurationError
+
+_TYPE_ATTR = "_phoenix_component_type"
+_READ_ONLY_ATTR = "_phoenix_read_only_method"
+
+
+def _tag(component_type: ComponentType) -> Callable[[type], type]:
+    def decorator(cls: type) -> type:
+        existing = cls.__dict__.get(_TYPE_ATTR)
+        if existing is not None and existing is not component_type:
+            raise ConfigurationError(
+                f"{cls.__name__} already declared {existing.value}; "
+                f"cannot also declare {component_type.value}"
+            )
+        setattr(cls, _TYPE_ATTR, component_type)
+        return cls
+
+    return decorator
+
+
+#: Declare a stateful component whose state Phoenix/App recovers by redo.
+persistent = _tag(ComponentType.PERSISTENT)
+
+#: Declare a persistent component that lives in its parent's context and
+#: only services calls from the parent and sibling subordinates.
+subordinate = _tag(ComponentType.SUBORDINATE)
+
+#: Declare a stateless, pure component that calls only functional
+#: components; nothing is logged on either side of its calls.
+functional = _tag(ComponentType.FUNCTIONAL)
+
+#: Declare a stateless component that may read persistent components;
+#: persistent callers log (without forcing) its replies.
+read_only = _tag(ComponentType.READ_ONLY)
+
+
+def read_only_method(method: Callable) -> Callable:
+    """Mark a method of a persistent component as read-only.
+
+    A read-only method neither changes any field of the component nor
+    makes a non-read-only outgoing call (Section 3.3).  The runtime does
+    not verify this — as in the paper, it is a programmer promise — but
+    the test suite includes checks that the optimization is disabled
+    when the promise is broken deliberately.
+    """
+    setattr(method, _READ_ONLY_ATTR, True)
+    return method
+
+
+def declared_type(cls: type) -> ComponentType:
+    """The component type a class was decorated with.
+
+    Classes without a Phoenix attribute are *external* by default —
+    "Unspecified components are external components by default, for
+    which we take no actions and make no guarantees."
+    """
+    found = getattr(cls, _TYPE_ATTR, None)
+    return found if found is not None else ComponentType.EXTERNAL
+
+
+def is_read_only_method(cls: type, method_name: str) -> bool:
+    """Does ``cls.method_name`` carry the read-only attribute?"""
+    method = getattr(cls, method_name, None)
+    return bool(getattr(method, _READ_ONLY_ATTR, False))
+
+
+def read_only_method_names(cls: type) -> frozenset[str]:
+    """All read-only method names of a class (for table seeding/tests)."""
+    names = []
+    for name in dir(cls):
+        if name.startswith("_"):
+            continue
+        if is_read_only_method(cls, name):
+            names.append(name)
+    return frozenset(names)

@@ -1,0 +1,172 @@
+"""Component base class and subordinate handles.
+
+Paper Section 4.2: "we implemented a 'persistent' base class and required
+all Phoenix/App components to inherit from this class.  A base class can
+visit all fields in a derived instance and we implement the support for
+saving and restoring a component in the base class."
+
+All Phoenix/App component kinds (persistent, subordinate, functional,
+read-only) inherit :class:`PersistentComponent`.  The runtime attaches
+its bookkeeping in ``_phoenix_``-prefixed attributes, which field capture
+(:mod:`repro.checkpoint.fields`) excludes; everything else the component
+stores in ``self`` is its recoverable state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..common.types import ComponentType
+from ..errors import ConfigurationError, InvariantViolationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .context import Context
+
+PHOENIX_FIELD_PREFIX = "_phoenix_"
+
+
+class PersistentComponent:
+    """Base class for all Phoenix/App components.
+
+    Component state is whatever the instance stores in ordinary
+    attributes; it must be built from log-serializable values (plain
+    data, component proxies, subordinate handles).  Methods must be
+    piece-wise deterministic — the runtime guarantees single-threaded
+    execution per context, and the component must not consult
+    out-of-band nondeterminism (wall clocks, RNGs) if it is to be
+    replayable.
+    """
+
+    # Class-level defaults so unattached instances (plain unit tests)
+    # behave; the runtime overwrites these on the instance at attach.
+    _phoenix_lid: int = -1
+    _phoenix_uri: str = ""
+    _phoenix_type: ComponentType = ComponentType.EXTERNAL
+    _phoenix_context: "Context | None" = None
+    _phoenix_next_seq: int = 0
+
+    # ------------------------------------------------------------------
+    # runtime services available to component code
+    # ------------------------------------------------------------------
+    @property
+    def phoenix_uri(self) -> str:
+        """This component's URI (empty until attached to a runtime)."""
+        return self._phoenix_uri
+
+    @property
+    def phoenix_type(self) -> ComponentType:
+        return self._phoenix_type
+
+    def new_subordinate(self, cls: type, *args: object) -> "SubordinateHandle":
+        """Create a subordinate component in this component's context.
+
+        Subordinate creation happens inside the parent's (deterministic)
+        execution, so it needs no creation record: replay re-creates the
+        subordinate with the same identity (paper Section 3.2.1).
+        """
+        context = self._require_context()
+        return context.create_subordinate(cls, args)
+
+    def self_reference(self) -> Any:
+        """A proxy to this component, safe to hand to other components."""
+        context = self._require_context()
+        if self._phoenix_type is ComponentType.SUBORDINATE:
+            raise ConfigurationError(
+                "subordinate components must not be referenced from "
+                "outside their context"
+            )
+        return context.process.runtime.proxy_for(self._phoenix_uri)
+
+    def _require_context(self) -> "Context":
+        if self._phoenix_context is None:
+            raise InvariantViolationError(
+                f"{type(self).__name__} is not attached to a runtime"
+            )
+        return self._phoenix_context
+
+
+class SubordinateHandle:
+    """The parent's reference to one of its subordinates.
+
+    Method calls through the handle are *direct* — no interception, no
+    logging, no context crossing (paper Figure 6) — and cost the
+    near-zero direct-call time of Table 5's Persistent->Subordinate row.
+    The handle (rather than the raw object) exists so checkpointing can
+    recognize and swizzle subordinate references, and so the
+    only-called-from-own-context restriction is enforced.
+    """
+
+    __slots__ = ("_component",)
+
+    def __init__(self, component: PersistentComponent):
+        object.__setattr__(self, "_component", component)
+
+    @property
+    def component(self) -> PersistentComponent:
+        return self._component
+
+    @property
+    def component_lid(self) -> int:
+        return self._component._phoenix_lid
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        component = self._component
+        value = getattr(component, name)
+        if not callable(value):
+            return value
+
+        def call(*args: object, **kwargs: object):
+            context = component._phoenix_context
+            if context is None:
+                raise InvariantViolationError(
+                    "subordinate handle used before attachment"
+                )
+            context.check_subordinate_access()
+            context.charge_subordinate_call()
+            return value(*args, **kwargs)
+
+        return call
+
+    def __repr__(self) -> str:
+        return (
+            f"SubordinateHandle({type(self._component).__name__}"
+            f"#{self._component._phoenix_lid})"
+        )
+
+
+class ComponentClassRegistry:
+    """Class-name -> class mapping used by recovery to re-instantiate.
+
+    Creation records store the class by name; recovery looks it up here.
+    The runtime registers classes automatically on first use, so explicit
+    registration is only needed when recovering in a fresh interpreter.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type] = {}
+
+    def register(self, cls: type) -> str:
+        name = f"{cls.__module__}.{cls.__qualname__}"
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"two different classes registered under {name!r}"
+            )
+        self._classes[name] = cls
+        return name
+
+    def lookup(self, name: str) -> type:
+        try:
+            return self._classes[name]
+        except KeyError:
+            from ..errors import UnknownComponentClassError
+
+            raise UnknownComponentClassError(
+                f"class {name!r} is not registered; recovery cannot "
+                "re-instantiate it"
+            ) from None
+
+    def name_of(self, cls: type) -> str:
+        return self.register(cls)

@@ -1,0 +1,92 @@
+"""Runtime configuration.
+
+Paper Section 5: "In our new prototype, log optimizations and
+checkpointing can all be turned on or off via switches."  This module is
+those switches.  ``RuntimeConfig.baseline()`` reproduces the IDEAS 2003
+prototype (Algorithm 1: log and immediately force every message);
+``RuntimeConfig.optimized()`` enables the paper's contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing switches (paper Section 4).
+
+    ``context_state_every_n_calls`` saves a context's state after every
+    N-th completed incoming call (``None`` disables automatic saves; the
+    paper's Section 5.4 experiments suggest ~400 calls for the
+    micro-benchmark).  ``process_checkpoint_every_n_saves`` takes a
+    process checkpoint after every N-th context state save (the paper
+    takes them "periodically"); manual checkpoints are always available
+    through :meth:`repro.core.process.AppProcess.take_process_checkpoint`.
+    """
+
+    context_state_every_n_calls: int | None = None
+    process_checkpoint_every_n_saves: int | None = None
+
+    #: Reclaim the log prefix no recovery can ever need, each time a
+    #: process checkpoint is published in the well-known file.  An
+    #: extension beyond the paper (which lets the log grow); the safe
+    #: truncation point is the minimum of the checkpoint LSN, every
+    #: context's recovery-start LSN, and every referenced reply LSN.
+    truncate_log: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.context_state_every_n_calls is not None
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Switches controlling logging, optimizations and recovery."""
+
+    # Algorithm selection: False = Algorithm 1 (baseline: log + force
+    # every message); True = Algorithms 2-5 chosen per component type.
+    optimized_logging: bool = True
+
+    # Section 3.3: treat calls to @read_only_method methods like calls
+    # to read-only components (only meaningful with optimized_logging).
+    read_only_method_optimization: bool = True
+
+    # Section 3.5: force only on the first outgoing call of a served
+    # method (and on calling the same server twice).  An extension — the
+    # paper describes it but did not implement it.
+    multicall_optimization: bool = False
+
+    # Section 5.2.3: when the caller says it already knows the server's
+    # identity, the server omits the type attachment in its reply.
+    reply_attachment_omission: bool = True
+
+    # Section 4: checkpointing.
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+
+    # Condition 4 handling: how many times a persistent caller retries a
+    # failed outgoing call before giving up, and whether hitting a
+    # crashed process synchronously runs recovery (the simulated
+    # equivalent of the recovery service restarting it).
+    max_call_retries: int = 8
+    auto_recover: bool = True
+
+    @classmethod
+    def baseline(cls, **overrides: object) -> "RuntimeConfig":
+        """The IDEAS 2003 baseline system (Algorithm 1, no checkpoints)."""
+        config = cls(
+            optimized_logging=False,
+            read_only_method_optimization=False,
+            multicall_optimization=False,
+            reply_attachment_omission=False,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def optimized(cls, **overrides: object) -> "RuntimeConfig":
+        """This paper's system (Algorithms 2-5 + checkpointing available)."""
+        config = cls()
+        return replace(config, **overrides) if overrides else config
+
+    def with_overrides(self, **overrides: object) -> "RuntimeConfig":
+        return replace(self, **overrides)

@@ -1,0 +1,220 @@
+"""Contexts.
+
+Paper Section 2.3: "In .NET remoting, a component resides in a structure
+called a 'context'.  Within a context, method calls are local calls.
+Across context boundaries method calls are remote procedure calls...
+Message interceptors at context boundaries can intercept all the four
+kinds of messages."
+
+In the baseline and optimized systems every *parent* component gets its
+own context; subordinates are placed inside their parent's context
+(Figure 6) so calls among them cross no boundary and are never
+intercepted or logged.  A context is also the unit of checkpointing
+(its state is saved "when the context is not active", Section 4.2) and
+of replay.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..common.ids import GlobalCallId
+from ..common.messages import MethodCallMessage, ReplyMessage
+from ..common.types import ComponentType
+from ..errors import ConfigurationError, DeploymentError, InvariantViolationError
+from .attributes import declared_type
+from .component import PersistentComponent, SubordinateHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import AppProcess
+
+#: Subordinate LIDs are derived from the parent LID so they are unique in
+#: the process and deterministic under replay: ``parent_lid * SUB_LID_BASE
+#: + per-context sequence``.  Parent LIDs are process-sequential and far
+#: below the base.
+SUB_LID_BASE = 100_000
+
+
+class ContextMode(enum.Enum):
+    NORMAL = "normal"
+    REPLAY = "replay"
+
+
+class CurrentCall:
+    """Book-keeping for the incoming call a context is serving.
+
+    Tracks the servers called so far during this method execution for
+    the multi-call optimization (Section 3.5)."""
+
+    __slots__ = ("message", "servers_called", "forced_once")
+
+    def __init__(self, message: MethodCallMessage | None):
+        self.message = message
+        self.servers_called: set[str] = set()
+        self.forced_once = False
+
+
+class Context:
+    """A context: one parent component plus its subordinates."""
+
+    def __init__(
+        self,
+        process: "AppProcess",
+        context_id: int,
+        uri: str,
+        component_type: ComponentType,
+        install_interceptors: bool = True,
+    ):
+        self.process = process
+        self.context_id = context_id
+        self.uri = uri
+        self.component_type = component_type
+        self.install_interceptors = install_interceptors
+
+        self.parent: PersistentComponent | None = None
+        self.subordinates: dict[int, PersistentComponent] = {}
+
+        self.mode = ContextMode.NORMAL
+        self.crashed = False
+        self.busy = False
+        self.incoming_calls_handled = 0
+        self.next_outgoing_seq = 0  # the context's outgoing-call counter
+        self.current_call: CurrentCall | None = None
+        self._next_sub_seq = 1
+
+        # During replay, logged replies of this context's outgoing calls
+        # (message 4 records) queue here; the interceptor answers
+        # outgoing calls from the queue instead of sending them
+        # (Figure 5: "Suppress outgoing calls / construct replies from
+        # the log").
+        self.replay_replies: deque[ReplyMessage] = deque()
+
+        # Late import to avoid a module cycle (interceptor needs Context
+        # for typing only).
+        from .interceptor import MessageInterceptor
+
+        self.interceptor = MessageInterceptor(self)
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self):
+        return self.process.runtime
+
+    @property
+    def is_phoenix(self) -> bool:
+        return self.component_type.is_phoenix
+
+    def components(self) -> list[PersistentComponent]:
+        """Parent first, then subordinates in LID order."""
+        members: list[PersistentComponent] = []
+        if self.parent is not None:
+            members.append(self.parent)
+        members.extend(
+            self.subordinates[lid] for lid in sorted(self.subordinates)
+        )
+        return members
+
+    # ------------------------------------------------------------------
+    # outgoing call IDs (condition 2)
+    # ------------------------------------------------------------------
+    def allocate_call_id(self) -> GlobalCallId:
+        """The next deterministic outgoing-call ID of this context."""
+        call_id = GlobalCallId(
+            machine=self.process.machine.name,
+            process_lid=self.process.logical_pid,
+            component_lid=self.context_id,
+            seq=self.next_outgoing_seq,
+        )
+        self.next_outgoing_seq += 1
+        return call_id
+
+    # ------------------------------------------------------------------
+    # subordinates (Section 3.2.1)
+    # ------------------------------------------------------------------
+    def create_subordinate(
+        self, cls: type, args: tuple
+    ) -> SubordinateHandle:
+        if declared_type(cls) is not ComponentType.SUBORDINATE:
+            raise DeploymentError(
+                f"{cls.__name__} is not declared @subordinate"
+            )
+        if not self.component_type.is_persistent_family:
+            raise DeploymentError(
+                "only persistent components may have subordinates"
+            )
+        if self._next_sub_seq >= SUB_LID_BASE:
+            raise DeploymentError(
+                f"context {self.context_id} exceeded {SUB_LID_BASE} "
+                "subordinates"
+            )
+        lid = self.context_id * SUB_LID_BASE + self._next_sub_seq
+        self._next_sub_seq += 1
+        component = self.process.instantiate_in_context(
+            self, cls, args, lid, ComponentType.SUBORDINATE
+        )
+        return SubordinateHandle(component)
+
+    def restore_subordinate_counter(self) -> None:
+        """After recovery rebuilt ``subordinates``, continue the LID
+        sequence deterministically."""
+        if self.subordinates:
+            top = max(lid % SUB_LID_BASE for lid in self.subordinates)
+            self._next_sub_seq = top + 1
+        else:
+            self._next_sub_seq = 1
+
+    def check_subordinate_access(self) -> None:
+        """Subordinates only service calls from inside their own context
+        (Section 3.2.1)."""
+        current = self.runtime.current_context()
+        if current is not self:
+            caller = current.uri if current is not None else "<external>"
+            raise ConfigurationError(
+                f"subordinate of {self.uri} called from {caller}; "
+                "subordinates only service calls from their parent and "
+                "sibling subordinates"
+            )
+
+    def charge_subordinate_call(self) -> None:
+        self.runtime.clock.advance(self.runtime.costs.subordinate_call)
+
+    # ------------------------------------------------------------------
+    # serving state
+    # ------------------------------------------------------------------
+    def begin_incoming(self, message: MethodCallMessage | None) -> None:
+        if self.busy:
+            raise ConfigurationError(
+                f"re-entrant call into single-threaded context {self.uri}"
+            )
+        self.busy = True
+        self.current_call = CurrentCall(message)
+
+    def end_incoming(self) -> None:
+        self.busy = False
+        self.current_call = None
+        self.incoming_calls_handled += 1
+
+    # ------------------------------------------------------------------
+    # replay support
+    # ------------------------------------------------------------------
+    def enter_replay(self, replies: list[ReplyMessage]) -> None:
+        self.mode = ContextMode.REPLAY
+        self.replay_replies = deque(replies)
+
+    def leave_replay(self) -> None:
+        self.mode = ContextMode.NORMAL
+        self.replay_replies.clear()
+
+    @property
+    def replaying(self) -> bool:
+        return self.mode is ContextMode.REPLAY
+
+    def __repr__(self) -> str:
+        return (
+            f"Context(#{self.context_id}, {self.component_type.value}, "
+            f"{self.uri}, subs={len(self.subordinates)})"
+        )

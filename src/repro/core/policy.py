@@ -1,0 +1,225 @@
+"""Logging policies — the paper's Algorithms 1 through 5.
+
+The policy decides, for each of the four message kinds, whether to write
+a log record (long or short) and whether to force the log, given the
+component types on both ends of the call:
+
+* **Algorithm 1** (baseline, Section 2.3): log then force every message.
+* **Algorithm 2** (Section 3.1.1, persistent client): log receive
+  messages (1 and 4) *without* forcing; write nothing for send messages
+  (2 and 3) but force all previous records before they leave.
+* **Algorithm 3** (Section 3.1.2, external client): force a long record
+  for message 1 and a short record for message 2 — external failures
+  cannot be fully masked, so log promptly and keep the window of
+  vulnerability small.
+* **Algorithm 4** (Section 3.2.2, functional server): nothing, on either
+  side.
+* **Algorithm 5** (Sections 3.2.3/3.3, read-only components & methods):
+  nothing at the server; the persistent caller logs (without forcing)
+  only message 4, whose value replay cannot regenerate.
+* **Multi-call** (Section 3.5, extension): within one method execution,
+  force only for the first outgoing call or when re-invoking a server
+  already called; later servers' replies are recoverable from their own
+  last-call tables.
+
+An unknown server type uses the most conservative algorithm (Section
+3.4), i.e. it is treated as persistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..common.messages import (
+    MessageKind,
+    MethodCallMessage,
+    ReplyMessage,
+)
+from ..common.types import ComponentType
+from ..log.records import MessageRecord
+from .config import RuntimeConfig
+from .tables import NO_LSN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+
+@dataclass(frozen=True)
+class LogDecision:
+    """What the policy did for one message (tests and stats read this)."""
+
+    wrote_record: bool = False
+    forced: bool = False
+    short: bool = False
+    record_lsn: int = NO_LSN
+
+    @classmethod
+    def nothing(cls) -> "LogDecision":
+        return cls()
+
+
+class LoggingPolicy:
+    """Chooses and executes the per-message logging actions."""
+
+    def __init__(self, config: RuntimeConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _treat_read_only(
+        self, component_type: ComponentType | None, method_read_only: bool
+    ) -> bool:
+        """Should this peer be handled by Algorithm 5?"""
+        if component_type is ComponentType.READ_ONLY:
+            return True
+        return bool(
+            method_read_only and self.config.read_only_method_optimization
+        )
+
+    def _stateless_context(self, context: "Context") -> bool:
+        """Algorithms 4 and 5: functional and read-only components log
+        nothing themselves — they are stateless and never recovered.
+        (Only meaningful in the optimized system; the baseline predates
+        component types and logs everything.)"""
+        return (
+            self.config.optimized_logging
+            and context.component_type.is_stateless
+        )
+
+    @staticmethod
+    def _append(
+        context: "Context",
+        kind: MessageKind,
+        message: MethodCallMessage | ReplyMessage | None,
+        short: bool = False,
+    ) -> int:
+        record = MessageRecord(
+            context_id=context.context_id,
+            kind=kind,
+            message=None if short else message,
+            short=short,
+        )
+        return context.process.log_append(record)
+
+    # ------------------------------------------------------------------
+    # message 1: incoming method call (server side)
+    # ------------------------------------------------------------------
+    def on_incoming_call(
+        self,
+        context: "Context",
+        message: MethodCallMessage,
+        client_type: ComponentType,
+        method_read_only: bool,
+    ) -> LogDecision:
+        if not self.config.optimized_logging:
+            # Algorithm 1: log message 1, force.
+            lsn = self._append(context, MessageKind.INCOMING_CALL, message)
+            context.process.log_force()
+            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+        if self._stateless_context(context):
+            return LogDecision.nothing()  # Algorithms 4/5: stateless server
+        if self._treat_read_only(client_type, method_read_only):
+            return LogDecision.nothing()  # Algorithm 5
+        if client_type is ComponentType.EXTERNAL:
+            # Algorithm 3: long record, force all messages.
+            lsn = self._append(context, MessageKind.INCOMING_CALL, message)
+            context.process.log_force()
+            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+        # Algorithm 2: log without forcing.
+        lsn = self._append(context, MessageKind.INCOMING_CALL, message)
+        return LogDecision(wrote_record=True, record_lsn=lsn)
+
+    # ------------------------------------------------------------------
+    # message 2: reply to the incoming call (server side)
+    # ------------------------------------------------------------------
+    def on_reply_send(
+        self,
+        context: "Context",
+        reply: ReplyMessage,
+        client_type: ComponentType,
+        method_read_only: bool,
+    ) -> LogDecision:
+        if not self.config.optimized_logging:
+            lsn = self._append(context, MessageKind.REPLY_TO_INCOMING, reply)
+            context.process.log_force()
+            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+        if self._stateless_context(context):
+            return LogDecision.nothing()  # Algorithms 4/5: stateless server
+        if self._treat_read_only(client_type, method_read_only):
+            return LogDecision.nothing()  # Algorithm 5
+        if client_type is ComponentType.EXTERNAL:
+            # Algorithm 3: short record (identity only), force.
+            lsn = self._append(
+                context, MessageKind.REPLY_TO_INCOMING, reply, short=True
+            )
+            context.process.log_force()
+            return LogDecision(
+                wrote_record=True, forced=True, short=True, record_lsn=lsn
+            )
+        # Algorithm 2: no record — the reply is re-creatable by replay —
+        # but everything before the send must be stable.
+        forced = context.process.log_force()
+        return LogDecision(forced=forced)
+
+    # ------------------------------------------------------------------
+    # message 3: outgoing method call (client side)
+    # ------------------------------------------------------------------
+    def on_outgoing_call(
+        self,
+        context: "Context",
+        message: MethodCallMessage,
+        server_type: ComponentType | None,
+        method_read_only: bool,
+    ) -> LogDecision:
+        if not self.config.optimized_logging:
+            lsn = self._append(context, MessageKind.OUTGOING_CALL, message)
+            context.process.log_force()
+            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+        if self._stateless_context(context):
+            return LogDecision.nothing()  # stateless caller logs nothing
+        if server_type is ComponentType.FUNCTIONAL:
+            return LogDecision.nothing()  # Algorithm 4
+        if self._treat_read_only(server_type, method_read_only):
+            # Algorithm 5: a call to a read-only target commits nothing.
+            return LogDecision.nothing()
+        # Persistent or unknown server: the send commits our state.
+        if self.config.multicall_optimization:
+            current = context.current_call
+            if current is not None:
+                repeat = message.target_uri in current.servers_called
+                first = not current.forced_once
+                current.servers_called.add(message.target_uri)
+                if not first and not repeat:
+                    # Section 3.5: the server's last-call table holds the
+                    # reply persistently; no force needed here.
+                    return LogDecision.nothing()
+                current.forced_once = True
+        forced = context.process.log_force()
+        return LogDecision(forced=forced)
+
+    # ------------------------------------------------------------------
+    # message 4: reply from the outgoing call (client side)
+    # ------------------------------------------------------------------
+    def on_reply_from_outgoing(
+        self,
+        context: "Context",
+        reply: ReplyMessage,
+        server_type: ComponentType | None,
+        method_read_only: bool,
+    ) -> LogDecision:
+        if not self.config.optimized_logging:
+            lsn = self._append(
+                context, MessageKind.REPLY_FROM_OUTGOING, reply
+            )
+            context.process.log_force()
+            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+        if self._stateless_context(context):
+            return LogDecision.nothing()  # stateless caller logs nothing
+        if server_type is ComponentType.FUNCTIONAL:
+            return LogDecision.nothing()  # Algorithm 4: pure, re-creatable
+        # Algorithms 2 and 5: log without forcing.  Read-only replies are
+        # unrepeatable; persistent replies remove receive nondeterminism.
+        lsn = self._append(context, MessageKind.REPLY_FROM_OUTGOING, reply)
+        return LogDecision(wrote_record=True, record_lsn=lsn)

@@ -1,0 +1,404 @@
+"""Application processes.
+
+Paper Section 4.1 / Figure 7: a process hosts multiple contexts, a set
+of global tables (context, component, remote-component, last-call), a
+log manager and a recovery manager.  At start it registers with its
+machine's recovery service to obtain a stable logical process ID (part
+of every method-call ID).
+
+A simulated crash (:meth:`crash`) wipes everything volatile — contexts,
+component instances, tables, and the log manager's buffer — leaving only
+the stable log, exactly the state a killed OS process leaves behind.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from ..common.ids import component_uri
+from ..common.types import ComponentType
+from ..errors import (
+    ComponentUnavailableError,
+    ConfigurationError,
+    DeploymentError,
+)
+from ..log.log_manager import LogManager
+from ..log.records import CreationRecord
+from .attributes import declared_type
+from .component import PersistentComponent
+from .config import RuntimeConfig
+from .context import Context
+from .last_call import LastCallTable
+from .policy import LoggingPolicy
+from .proxy import ComponentProxy
+from .remote_types import RemoteComponentTypeTable
+from .swizzle import swizzle_for_message, unswizzle_for_message
+from .tables import ComponentTableEntry, ContextTableEntry, NO_LSN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.machine import Machine
+    from .runtime import PhoenixRuntime
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    CRASHED = "crashed"
+    RECOVERING = "recovering"
+
+
+class AppProcess:
+    """A process hosting Phoenix/App contexts."""
+
+    def __init__(
+        self,
+        runtime: "PhoenixRuntime",
+        machine: "Machine",
+        name: str,
+    ):
+        self.runtime = runtime
+        self.machine = machine
+        self.name = name
+        self.config: RuntimeConfig = runtime.config
+        self.policy = LoggingPolicy(self.config)
+        self.state = ProcessState.RUNNING
+
+        # Registration with the machine's recovery service assigns the
+        # stable logical PID and force-writes the registration (2.4).
+        self.logical_pid = machine.recovery_service.register(self)
+
+        self.log = LogManager(
+            f"{machine.name}-{name}", machine.disk, machine.stable_store
+        )
+
+        self.context_table: dict[int, ContextTableEntry] = {}
+        self.component_table: dict[int, ComponentTableEntry] = {}
+        self.last_calls = LastCallTable()
+        self.remote_types = RemoteComponentTypeTable()
+
+        self._next_component_lid = 1
+        self._state_saves = 0
+        self._pending_checkpoint: tuple[int, int] | None = None  # (begin, end)
+        self.crash_count = 0
+        self.recovery_count = 0
+        # The recovery manager driving this process's replay, while one
+        # is active; the runtime uses it to drain a context's pending
+        # replay before delivering a live call to it.
+        self.active_recovery = None
+
+        machine.register_process(self)
+
+    # ------------------------------------------------------------------
+    # log access with cost accounting
+    # ------------------------------------------------------------------
+    def log_append(self, record) -> int:
+        self.runtime.clock.advance(self.runtime.costs.log_buffer_write)
+        lsn = self.log.append(record)
+        self._maybe_publish_checkpoint()
+        return lsn
+
+    def log_force(self) -> bool:
+        wrote = self.log.force()
+        self._maybe_publish_checkpoint()
+        return wrote
+
+    def _maybe_publish_checkpoint(self) -> None:
+        """Section 4.3: once a checkpoint has been flushed (possibly by a
+        later send message), force its begin LSN into the well-known
+        file."""
+        if self._pending_checkpoint is None:
+            return
+        begin_lsn, end_lsn = self._pending_checkpoint
+        if self.log.stable_lsn > end_lsn:
+            self.log.write_well_known_lsn(begin_lsn)
+            self._pending_checkpoint = None
+            if self.config.checkpoint.truncate_log:
+                self.collect_log_garbage()
+
+    def set_pending_checkpoint(self, begin_lsn: int, end_lsn: int) -> None:
+        self._pending_checkpoint = (begin_lsn, end_lsn)
+        self._maybe_publish_checkpoint()
+
+    # ------------------------------------------------------------------
+    # component creation
+    # ------------------------------------------------------------------
+    def create_component(
+        self,
+        cls: type,
+        args: tuple = (),
+        component_type: ComponentType | None = None,
+        install_interceptors: bool | None = None,
+    ) -> ComponentProxy:
+        """Create a (parent) component in a fresh context.
+
+        ``component_type`` overrides the declared attribute only for the
+        native .NET kinds of Table 4 (``MARSHAL_BY_REF`` /
+        ``CONTEXT_BOUND``); Phoenix kinds always come from declarations.
+        ``install_interceptors`` models Table 4's "(interception)" row
+        for native components; Phoenix components always have
+        interceptors.
+        """
+        if self.state is not ProcessState.RUNNING:
+            raise ComponentUnavailableError(
+                f"phoenix://{self.machine.name}/{self.name}", "not running"
+            )
+        ctype = component_type or declared_type(cls)
+        if ctype is ComponentType.SUBORDINATE:
+            raise DeploymentError(
+                f"{cls.__name__} is @subordinate; create it from its "
+                "parent via new_subordinate()"
+            )
+        if ctype.is_phoenix and not issubclass(cls, PersistentComponent):
+            raise DeploymentError(
+                f"{cls.__name__} must inherit PersistentComponent to be "
+                f"a {ctype.value} component"
+            )
+        if ctype is ComponentType.EXTERNAL:
+            raise DeploymentError(
+                f"{cls.__name__} has no Phoenix attribute; declare it "
+                "@persistent/@functional/@read_only or pass a native "
+                "component_type"
+            )
+
+        lid = self._next_component_lid
+        self._next_component_lid += 1
+        uri = component_uri(self.machine.name, self.name, lid)
+        interceptors = (
+            bool(install_interceptors)
+            if not ctype.is_phoenix
+            else True
+        )
+        context = Context(
+            self, lid, uri, ctype, install_interceptors=interceptors
+        )
+        entry = ContextTableEntry(
+            context_id=lid, uri=uri, context_ref=context
+        )
+        self.context_table[lid] = entry
+
+        if ctype.is_phoenix:
+            class_name = self.runtime.registry.register(cls)
+            record = CreationRecord(
+                context_id=lid,
+                component_lid=lid,
+                class_name=class_name,
+                args=swizzle_for_message(tuple(args)),
+                uri=uri,
+                component_type=ctype,
+                registered_name=class_name,
+            )
+            entry.creation_lsn = self.log_append(record)
+            self.log_force()
+            self._construct(context, cls, args, lid, ctype)
+        else:
+            self.instantiate_in_context(context, cls, args, lid, ctype)
+        return self.runtime.proxy_for(uri)
+
+    def _construct(
+        self,
+        context: Context,
+        cls: type,
+        args: tuple,
+        lid: int,
+        ctype: ComponentType,
+    ) -> None:
+        """Run a phoenix component's constructor with interception active
+        — construction methods are allowed to make method calls to other
+        components (Section 4.4)."""
+        component = self._attach_instance(context, cls, lid, ctype)
+        context.begin_incoming(None)
+        self.runtime.push_context(context)
+        try:
+            component.__init__(
+                *unswizzle_for_message(
+                    swizzle_for_message(tuple(args)), self.runtime
+                )
+            )
+        finally:
+            self.runtime.pop_context()
+            context.end_incoming()
+        # A new component is immediately quiescent; don't count
+        # construction toward the checkpoint-policy call count.
+        context.incoming_calls_handled = 0
+
+    def instantiate_in_context(
+        self,
+        context: Context,
+        cls: type,
+        args: tuple,
+        lid: int,
+        ctype: ComponentType,
+    ) -> PersistentComponent:
+        """Create and attach an instance, running its constructor inline
+        (subordinates and native components)."""
+        component = self._attach_instance(context, cls, lid, ctype)
+        component.__init__(*args)
+        return component
+
+    def _attach_instance(
+        self,
+        context: Context,
+        cls: type,
+        lid: int,
+        ctype: ComponentType,
+    ) -> PersistentComponent:
+        """Allocate the instance and wire the runtime fields without
+        running the constructor (recovery also restores this way)."""
+        component = cls.__new__(cls)
+        component._phoenix_lid = lid
+        component._phoenix_uri = component_uri(
+            self.machine.name, self.name, lid
+        )
+        component._phoenix_type = ctype
+        component._phoenix_context = context
+        if lid == context.context_id:
+            context.parent = component
+        else:
+            context.subordinates[lid] = component
+        class_name = (
+            self.runtime.registry.register(cls)
+            if ctype.is_phoenix
+            else f"{cls.__module__}.{cls.__qualname__}"
+        )
+        self.component_table[lid] = ComponentTableEntry(
+            component_lid=lid,
+            component_type=ctype,
+            class_name=class_name,
+            instance=component,
+            context_id=context.context_id,
+        )
+        if (
+            context.context_id in self.context_table
+            and lid
+            not in self.context_table[context.context_id].component_lids
+        ):
+            self.context_table[context.context_id].component_lids.append(lid)
+        return component
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def find_context(self, component_lid: int) -> Context:
+        entry = self.component_table.get(component_lid)
+        if entry is None:
+            raise DeploymentError(
+                f"no component {component_lid} in process {self.name} "
+                f"on {self.machine.name}"
+            )
+        context_entry = self.context_table[entry.context_id]
+        context = context_entry.context_ref
+        if context is None:
+            raise ComponentUnavailableError(
+                component_uri(self.machine.name, self.name, component_lid),
+                "context not materialized",
+            )
+        return context
+
+    def contexts(self) -> list[Context]:
+        return [
+            entry.context_ref
+            for entry in self.context_table.values()
+            if entry.context_ref is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # checkpointing entry points (implementation in repro.checkpoint)
+    # ------------------------------------------------------------------
+    def maybe_save_context_state(self, context: Context) -> bool:
+        """Apply the checkpoint policy after an incoming call finishes."""
+        if context.replaying or not context.component_type.is_persistent_family:
+            return False
+        every = self.config.checkpoint.context_state_every_n_calls
+        if every is None or context.incoming_calls_handled == 0:
+            return False
+        if context.incoming_calls_handled % every != 0:
+            return False
+        self.save_context_state(context)
+        return True
+
+    def save_context_state(self, context: Context) -> int:
+        from ..checkpoint.state_record import save_context_state
+
+        lsn = save_context_state(context)
+        self._state_saves += 1
+        every = self.config.checkpoint.process_checkpoint_every_n_saves
+        if every is not None and self._state_saves % every == 0:
+            self.take_process_checkpoint()
+        return lsn
+
+    def take_process_checkpoint(self) -> tuple[int, int]:
+        from ..checkpoint.process_checkpoint import take_process_checkpoint
+
+        return take_process_checkpoint(self)
+
+    # ------------------------------------------------------------------
+    # log garbage collection (extension — see CheckpointConfig)
+    # ------------------------------------------------------------------
+    def log_truncation_point(self) -> int:
+        """The highest LSN below which no recovery can ever read.
+
+        Recovery needs: the published checkpoint onward, each context's
+        recovery-start record (latest state record, else creation
+        record), and every reply record the last-call table still
+        points at.
+        """
+        candidates: list[int] = []
+        published = self.log.read_well_known_lsn()
+        if published is not None:
+            candidates.append(published)
+        for entry in self.context_table.values():
+            start = entry.recovery_start_lsn
+            if start != NO_LSN:
+                candidates.append(start)
+        for __, last_call in self.last_calls.all_entries():
+            if last_call.reply_lsn != NO_LSN:
+                candidates.append(last_call.reply_lsn)
+        if not candidates:
+            return self.log.base_lsn
+        return min(candidates)
+
+    def collect_log_garbage(self) -> int:
+        """Reclaim the dead log prefix; returns bytes reclaimed."""
+        return self.log.truncate_prefix(self.log_truncation_point())
+
+    # ------------------------------------------------------------------
+    # failure & restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the process: all volatile state is gone."""
+        if self.state is ProcessState.CRASHED:
+            return
+        self.state = ProcessState.CRASHED
+        self.crash_count += 1
+        self.log.wipe_volatile()
+        for entry in self.context_table.values():
+            entry.context_ref = None
+        self.context_table = {}
+        self.component_table = {}
+        self.last_calls = LastCallTable()
+        self.remote_types = RemoteComponentTypeTable()
+        self._pending_checkpoint = None
+        self.machine.recovery_service.on_crash(self)
+
+    def begin_restart(self) -> None:
+        """Fresh volatile structures before recovery repopulates them."""
+        self.state = ProcessState.RECOVERING
+        self.context_table = {}
+        self.component_table = {}
+        self.last_calls = LastCallTable()
+        self.remote_types = RemoteComponentTypeTable()
+        self._next_component_lid = 1
+        self._state_saves = 0
+        self._pending_checkpoint = None
+        self.active_recovery = None
+
+    def finish_recovery(self) -> None:
+        self.state = ProcessState.RUNNING
+        self.recovery_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"AppProcess({self.machine.name}/{self.name}, "
+            f"pid={self.logical_pid}, {self.state.value}, "
+            f"contexts={len(self.context_table)})"
+        )

@@ -1,0 +1,72 @@
+"""Dynamic component proxies.
+
+A proxy is the only way application code (and external drivers) calls a
+component in another context.  Attribute access returns a bound remote
+method; calling it routes through the runtime's full message pipeline
+(client interceptor -> transport -> server interceptor), which is where
+logging, duplicate detection and retries happen.
+
+Proxies are pure (runtime, URI) pairs: they survive the target crashing
+and recovering, and they serialize to :class:`ComponentRef` in messages
+and checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..common.ids import parse_uri
+
+
+class ComponentProxy:
+    """A remote reference to a component, by URI."""
+
+    __slots__ = ("_runtime", "_uri")
+
+    def __init__(self, runtime: Any, uri: str):
+        parse_uri(uri)  # validate eagerly
+        object.__setattr__(self, "_runtime", runtime)
+        object.__setattr__(self, "_uri", uri)
+
+    @property
+    def uri(self) -> str:
+        return self._uri
+
+    def __getattr__(self, name: str) -> "_RemoteMethod":
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _RemoteMethod(self._runtime, self._uri, name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            "component proxies are immutable references; call methods "
+            "on the component instead of setting attributes"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ComponentProxy) and other._uri == self._uri
+
+    def __hash__(self) -> int:
+        return hash(self._uri)
+
+    def __repr__(self) -> str:
+        return f"ComponentProxy({self._uri})"
+
+
+class _RemoteMethod:
+    """A bound remote method; calling it performs the remote call."""
+
+    __slots__ = ("_runtime", "_uri", "_method")
+
+    def __init__(self, runtime: Any, uri: str, method: str):
+        self._runtime = runtime
+        self._uri = uri
+        self._method = method
+
+    def __call__(self, *args: object, **kwargs: object) -> object:
+        return self._runtime.invoke_method(
+            self._uri, self._method, args, kwargs
+        )
+
+    def __repr__(self) -> str:
+        return f"<remote method {self._method} of {self._uri}>"

@@ -1,0 +1,87 @@
+"""The remote component type table (paper Section 3.4).
+
+"To determine server component types, we keep a remote component type
+table.  Initially, the types of server components (targets of outgoing
+calls) are unknown, and the most conservative logging algorithms are
+used.  From reply messages, we gradually learn server component types."
+
+Besides the component type, the table learns which remote *methods* are
+read-only (Section 3.3), since a caller must know that before deciding
+not to force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.types import ComponentType
+
+
+@dataclass
+class RemoteTypeEntry:
+    component_type: ComponentType
+    read_only_methods: set[str] = field(default_factory=set)
+    non_read_only_methods: set[str] = field(default_factory=set)
+
+
+class RemoteComponentTypeTable:
+    """Learned types of remote components, indexed by URI."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RemoteTypeEntry] = {}
+
+    def known_type(self, uri: str) -> ComponentType | None:
+        entry = self._entries.get(uri)
+        return entry.component_type if entry else None
+
+    def knows(self, uri: str) -> bool:
+        return uri in self._entries
+
+    def method_read_only(self, uri: str, method: str) -> bool | None:
+        """True/False if learned, None if not yet known."""
+        entry = self._entries.get(uri)
+        if entry is None:
+            return None
+        if method in entry.read_only_methods:
+            return True
+        if method in entry.non_read_only_methods:
+            return False
+        return None
+
+    def learn(
+        self,
+        uri: str,
+        component_type: ComponentType,
+        method: str | None = None,
+        method_read_only: bool = False,
+    ) -> None:
+        """Record what a reply message taught us about a server."""
+        entry = self._entries.get(uri)
+        if entry is None:
+            entry = RemoteTypeEntry(component_type=component_type)
+            self._entries[uri] = entry
+        else:
+            entry.component_type = component_type
+        if method is not None:
+            if method_read_only:
+                entry.read_only_methods.add(method)
+                entry.non_read_only_methods.discard(method)
+            else:
+                entry.non_read_only_methods.add(method)
+                entry.read_only_methods.discard(method)
+
+    def seed(self, uri: str, component_type: ComponentType) -> None:
+        """Install a type during recovery from a process checkpoint."""
+        if uri not in self._entries:
+            self._entries[uri] = RemoteTypeEntry(component_type=component_type)
+
+    def snapshot(self) -> list[tuple[str, ComponentType]]:
+        """Type entries for a process checkpoint (method knowledge is a
+        pure optimization and is relearned, as in the paper)."""
+        return sorted(
+            (uri, entry.component_type)
+            for uri, entry in self._entries.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,494 @@
+"""The Phoenix/App runtime facade.
+
+Owns the simulated cluster, the configuration switches, the component
+class registry, the crash injector and the execution stack, and runs the
+message pipeline that proxies call into:
+
+    client interceptor -> network -> server interceptor -> method
+                       <- network <-
+
+Every hop charges the calibrated cost model; every logging decision goes
+through the active :class:`LoggingPolicy`.  Failures surface as
+*recognized* exceptions which persistent callers retry with the same
+call ID (condition 4), triggering recovery of the crashed process.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..common.ids import parse_uri
+from ..common.messages import MethodCallMessage, ReplyMessage
+from ..common.types import ComponentType
+from ..errors import (
+    ApplicationError,
+    ComponentUnavailableError,
+    CrashSignal,
+    DeploymentError,
+    RetriesExhaustedError,
+)
+from ..log.serialization import serialized_size
+from ..recovery.failures import CrashInjector
+from ..recovery.recovery_service import RecoveryService
+from ..sim.cluster import Cluster
+from .component import ComponentClassRegistry
+from .config import RuntimeConfig
+from .context import Context
+from .interceptor import ReplayOutcome
+from .process import AppProcess, ProcessState
+from .proxy import ComponentProxy
+from .swizzle import swizzle_for_message, unswizzle_for_message
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregated counters for experiment reports."""
+
+    log_forces: int = 0
+    log_appends: int = 0
+    disk_writes: int = 0
+    network_messages: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+
+class PhoenixRuntime:
+    """Facade over a simulated cluster running Phoenix/App."""
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        config: RuntimeConfig | None = None,
+        machine_names: Iterable[str] = ("alpha", "beta"),
+    ):
+        self.cluster = cluster if cluster is not None else Cluster(machine_names)
+        self.config = config if config is not None else RuntimeConfig.optimized()
+        self.clock = self.cluster.clock
+        self.costs = self.cluster.costs
+        self.registry = ComponentClassRegistry()
+        self.injector = CrashInjector()
+        self._exec_stack: list[Context] = []
+        self._processes: dict[tuple[str, str], AppProcess] = {}
+
+        #: Where external (non-Phoenix) callers live.  ``None`` means
+        #: external calls originate on the target's machine (the
+        #: paper's "local" micro-benchmark columns); setting a machine
+        #: name makes external calls pay network costs (the "remote"
+        #: columns and the bookstore's BookBuyer machine).
+        self.external_client_machine: str | None = None
+
+        for machine in self.cluster.machines():
+            machine.recovery_service = RecoveryService(machine, self)
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def spawn_process(self, name: str, machine: str = "alpha") -> AppProcess:
+        host = self.cluster.machine(machine)
+        if host.has_process(name):
+            raise DeploymentError(
+                f"process {name!r} already exists on machine {machine}"
+            )
+        process = AppProcess(self, host, name)
+        self._processes[(machine, name)] = process
+        return process
+
+    def process(self, machine: str, name: str) -> AppProcess:
+        try:
+            return self._processes[(machine, name)]
+        except KeyError:
+            raise DeploymentError(
+                f"no process {name!r} on machine {machine!r}"
+            ) from None
+
+    def processes(self) -> list[AppProcess]:
+        return list(self._processes.values())
+
+    def proxy_for(self, uri: str) -> ComponentProxy:
+        return ComponentProxy(self, uri)
+
+    # ------------------------------------------------------------------
+    # execution stack (which context is running right now)
+    # ------------------------------------------------------------------
+    def current_context(self) -> Context | None:
+        return self._exec_stack[-1] if self._exec_stack else None
+
+    def push_context(self, context: Context) -> None:
+        self._exec_stack.append(context)
+
+    def pop_context(self) -> None:
+        self._exec_stack.pop()
+
+    # ------------------------------------------------------------------
+    # crash hooks
+    # ------------------------------------------------------------------
+    def fire_hook(
+        self, point: str, process: AppProcess, context: Context | None = None
+    ) -> None:
+        """Give the crash injector a chance to kill ``process`` here.
+
+        Hooks are quiet during replay: recovery re-executes application
+        code, and injection points belong to the original execution.
+        """
+        if context is not None and context.replaying:
+            return
+        self.injector.fire(point, process)
+
+    # ------------------------------------------------------------------
+    # the call pipeline
+    # ------------------------------------------------------------------
+    def invoke_method(
+        self,
+        uri: str,
+        method: str,
+        args: tuple,
+        kwargs: dict | None = None,
+    ) -> object:
+        kwargs = kwargs or {}
+        machine_name, process_name, lid = parse_uri(uri)
+        process = self._processes.get((machine_name, process_name))
+        if process is None:
+            raise DeploymentError(f"no process behind {uri}")
+        caller_ctx = self.current_context()
+
+        # Within a context, method calls are local calls (Section 2.3):
+        # a proxy that happens to target the caller's own context short-
+        # circuits to a direct invocation with no interception.
+        if caller_ctx is not None and caller_ctx.process is process:
+            entry = process.component_table.get(lid)
+            if (
+                entry is not None
+                and entry.context_id == caller_ctx.context_id
+            ):
+                caller_ctx.charge_subordinate_call()
+                return getattr(entry.instance, method)(*args, **kwargs)
+
+        phoenix_caller = caller_ctx is not None and caller_ctx.is_phoenix
+        try:
+            if phoenix_caller:
+                return self._phoenix_client_call(
+                    caller_ctx, process, lid, uri, method, args, kwargs
+                )
+            return self._external_client_call(
+                caller_ctx, process, lid, uri, method, args, kwargs
+            )
+        except CrashSignal as signal:
+            # A signal for the *caller's* process must unwind further —
+            # its process boundary (the _deliver_once frame that entered
+            # it) is higher on the Python stack.  Only a top-level
+            # external call has no such frame; convert there.
+            if caller_ctx is not None:
+                raise
+            target = getattr(signal, "process", None)
+            if target is not None:
+                target.crash()
+                raise ComponentUnavailableError(
+                    uri, f"crashed at {signal.point}"
+                ) from None
+            raise
+
+    def _phoenix_client_call(
+        self,
+        caller_ctx: Context,
+        process: AppProcess,
+        lid: int,
+        uri: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> object:
+        interceptor = caller_ctx.interceptor
+        message, server_type, method_ro = interceptor.prepare_outgoing(
+            uri, method, args, kwargs
+        )
+        if caller_ctx.replaying:
+            outcome, logged_reply = interceptor.check_replay(message)
+            if outcome is ReplayOutcome.SUPPRESSED:
+                return interceptor.reply_value(logged_reply)
+            if outcome is ReplayOutcome.EXECUTE_SILENT:
+                # A never-logged (functional) reply: re-execute the pure
+                # call without leaving replay or logging anything.
+                reply = self._deliver_with_retry(
+                    caller_ctx, process, lid, message
+                )
+                interceptor.learn_from_reply(message, reply)
+                return interceptor.reply_value(reply)
+            # GO_LIVE: the log ran dry; fall through to normal execution.
+        interceptor.on_outgoing(message, server_type, method_ro)
+        reply = self._deliver_with_retry(caller_ctx, process, lid, message)
+        return interceptor.on_reply_received(message, reply)
+
+    def _external_client_call(
+        self,
+        caller_ctx: Context | None,
+        process: AppProcess,
+        lid: int,
+        uri: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> object:
+        message = MethodCallMessage(
+            target_uri=uri,
+            method=method,
+            args=swizzle_for_message(tuple(args)),
+            kwargs=swizzle_for_message(
+                MethodCallMessage.pack_kwargs(kwargs)
+            ),
+            call_id=None,
+        )
+        reply = self._deliver_with_retry(caller_ctx, process, lid, message)
+        if reply.is_exception:
+            raise ApplicationError(
+                reply.exception_message,
+                original_type=reply.exception_message.split(":", 1)[0],
+            )
+        return unswizzle_for_message(reply.value, self)
+
+    def _deliver_with_retry(
+        self,
+        caller_ctx: Context | None,
+        process: AppProcess,
+        lid: int,
+        message: MethodCallMessage,
+    ) -> ReplyMessage:
+        phoenix_caller = caller_ctx is not None and caller_ctx.is_phoenix
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._deliver_once(caller_ctx, process, lid, message)
+            except (ComponentUnavailableError, ConnectionError) as exc:
+                if not phoenix_caller:
+                    # No guarantees for external callers; they may retry
+                    # manually (and the paper's window of vulnerability
+                    # applies).
+                    raise
+                if self._caller_is_dead(caller_ctx):
+                    # The failure took the caller's own process down
+                    # (a same-process call): these frames are ghosts of
+                    # a crashed execution and must unwind to their own
+                    # process boundary instead of retrying.
+                    signal = CrashSignal(
+                        caller_ctx.process.name, "cascaded crash"
+                    )
+                    signal.process = caller_ctx.process
+                    raise signal from None
+                if attempts > self.config.max_call_retries:
+                    raise RetriesExhaustedError(
+                        message.target_uri, attempts
+                    ) from exc
+                # Condition 4: wait a while, then retry the call with
+                # the SAME method call ID.
+                self.clock.advance(self.costs.retry_backoff)
+                if self.config.auto_recover:
+                    self.ensure_recovered(process)
+
+    @staticmethod
+    def _caller_is_dead(caller_ctx: Context) -> bool:
+        """Is this execution a ghost of a crashed incarnation?
+
+        True when the caller's process has crashed, or when recovery has
+        already replaced the caller's context with a new generation."""
+        process = caller_ctx.process
+        if process.state is ProcessState.CRASHED:
+            return True
+        entry = process.context_table.get(caller_ctx.context_id)
+        return entry is None or entry.context_ref is not caller_ctx
+
+    def _deliver_once(
+        self,
+        caller_ctx: Context | None,
+        process: AppProcess,
+        lid: int,
+        message: MethodCallMessage,
+    ) -> ReplyMessage:
+        if caller_ctx is not None:
+            source_machine = caller_ctx.process.machine.name
+        else:
+            source_machine = (
+                self.external_client_machine or process.machine.name
+            )
+        target_machine = process.machine.name
+
+        self.cluster.network.transmit(
+            source_machine, target_machine, serialized_size(message)
+        )
+        try:
+            if process.state is ProcessState.CRASHED:
+                if not self.config.auto_recover:
+                    raise ComponentUnavailableError(
+                        message.target_uri, "process crashed"
+                    )
+                self.ensure_recovered(process)
+            context = process.find_context(lid)
+            if context.crashed:
+                if not self.config.auto_recover:
+                    raise ComponentUnavailableError(
+                        message.target_uri, "context crashed"
+                    )
+                self.recover_context(context)
+            base_cost = (
+                self.costs.marshal_by_ref_call
+                if context.component_type is ComponentType.MARSHAL_BY_REF
+                else self.costs.context_bound_call
+            )
+            self.clock.advance(base_cost)
+            if not context.is_phoenix:
+                if context.install_interceptors:
+                    self.clock.advance(self.costs.interception_overhead)
+                reply = self._invoke_native(context, message)
+            else:
+                if lid != context.context_id:
+                    context.check_subordinate_access()
+                if (
+                    process.state is ProcessState.RECOVERING
+                    and process.active_recovery is not None
+                ):
+                    # A live call arrived mid-recovery (another context's
+                    # replay went live): finish this context's own
+                    # pending replay first so duplicate detection finds
+                    # the regenerated reply.
+                    process.active_recovery.drain_context(
+                        context.context_id
+                    )
+                reply = context.interceptor.handle_incoming(message)
+        except CrashSignal as signal:
+            if getattr(signal, "process", None) is process:
+                process.crash()
+                raise ComponentUnavailableError(
+                    message.target_uri, f"crashed at {signal.point}"
+                ) from None
+            raise
+
+        self.cluster.network.transmit(
+            target_machine, source_machine, serialized_size(reply)
+        )
+        # An after-send crash: the reply is already with the caller, the
+        # server dies afterwards (Figure 2, failure point 3).
+        self.injector.fire_silent("reply.after_send", process)
+        if (
+            caller_ctx is not None
+            and caller_ctx.process is process
+            and process.state is ProcessState.CRASHED
+        ):
+            # Same-process caller: the after-send crash killed it too.
+            signal = CrashSignal(process.name, "reply.after_send")
+            signal.process = process
+            raise signal
+        return reply
+
+    def _invoke_native(
+        self, context: Context, message: MethodCallMessage
+    ) -> ReplyMessage:
+        """Plain .NET objects of Table 4: no logging, no guarantees."""
+        self.push_context(context)
+        try:
+            bound = getattr(context.parent, message.method)
+            value = bound(
+                *unswizzle_for_message(message.args, self),
+                **dict(
+                    unswizzle_for_message(message.kwargs, self)
+                ),
+            )
+            return ReplyMessage(
+                call_id=message.call_id, value=swizzle_for_message(value)
+            )
+        except Exception as exc:
+            return ReplyMessage(
+                call_id=message.call_id,
+                is_exception=True,
+                exception_message=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self.pop_context()
+
+    # ------------------------------------------------------------------
+    # failure & recovery entry points
+    # ------------------------------------------------------------------
+    def crash_process(self, process: AppProcess) -> None:
+        """Kill a process immediately (tests and benchmarks)."""
+        process.crash()
+
+    def crash_context(self, context: Context) -> None:
+        """Kill a single context; its process stays up."""
+        context.crashed = True
+        context.parent = None
+        context.subordinates = {}
+        context.busy = False
+        context.current_call = None
+
+    def ensure_recovered(self, process: AppProcess) -> None:
+        if process.state is not ProcessState.CRASHED:
+            return
+        process.machine.recovery_service.restart(process)
+
+    def recover_context(self, context: Context) -> None:
+        from ..recovery.recovery_manager import recover_context
+
+        recover_context(context)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        totals = RuntimeStats()
+        for process in self._processes.values():
+            totals.log_forces += process.log.stats.forces_performed
+            totals.log_appends += process.log.stats.appends
+            totals.crashes += process.crash_count
+            totals.recoveries += process.recovery_count
+        for machine in self.cluster.machines():
+            totals.disk_writes += machine.disk.stats.writes
+        totals.network_messages = self.cluster.network.stats.messages
+        return totals
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def describe(self) -> str:
+        """A human-readable fleet report: machines, processes, contexts,
+        log and disk statistics.  Operator/debugging surface; examples
+        print it after a run."""
+        lines = [f"runtime at t={self.now / 1000:.3f}s"]
+        for machine in self.cluster.machines():
+            disk = machine.disk.stats
+            lines.append(
+                f"  machine {machine.name}: disk writes={disk.writes} "
+                f"(media={disk.media_writes}, cached={disk.cached_writes}), "
+                f"busy={disk.busy_ms:.0f}ms"
+            )
+            for process in machine.processes():
+                log = process.log.stats
+                lines.append(
+                    f"    process {process.name} [{process.state.value}] "
+                    f"pid={process.logical_pid}: "
+                    f"forces={log.forces_performed}, "
+                    f"appends={log.appends}, "
+                    f"crashes={process.crash_count}, "
+                    f"recoveries={process.recovery_count}"
+                )
+                for entry in sorted(process.context_table.values(),
+                                    key=lambda e: e.context_id):
+                    context = entry.context_ref
+                    if context is None:
+                        continue
+                    parent = (
+                        type(context.parent).__name__
+                        if context.parent is not None
+                        else "?"
+                    )
+                    lines.append(
+                        f"      context #{entry.context_id} "
+                        f"{parent} ({context.component_type.value}): "
+                        f"{context.incoming_calls_handled} calls, "
+                        f"{len(context.subordinates)} subordinates"
+                    )
+        network = self.cluster.network.stats
+        lines.append(
+            f"  network: {network.messages} messages, "
+            f"{network.bytes} bytes, {network.busy_ms:.1f}ms"
+        )
+        return "\n".join(lines)

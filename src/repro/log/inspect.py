@@ -1,0 +1,184 @@
+"""Log inspection.
+
+Operational tooling for looking inside a process's log: per-kind record
+counts, per-context activity, the checkpoint chain, and byte accounting.
+Used by tests to assert log structure and by operators (and the curious)
+to see exactly what each logging algorithm writes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+from ..common.messages import MessageKind
+from .log_manager import LogManager
+from .records import (
+    BeginCheckpointRecord,
+    CheckpointContextTableRecord,
+    CheckpointLastCallRecord,
+    CheckpointRemoteTypeRecord,
+    ContextStateRecord,
+    CreationRecord,
+    EndCheckpointRecord,
+    LastCallReplyRecord,
+    MessageRecord,
+)
+
+
+@dataclass
+class ContextActivity:
+    """What one context has on the log."""
+
+    context_id: int
+    creations: int = 0
+    incoming_calls: int = 0
+    replies_to_incoming: int = 0
+    outgoing_calls: int = 0
+    replies_from_outgoing: int = 0
+    state_records: int = 0
+    last_call_replies: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.creations
+            + self.incoming_calls
+            + self.replies_to_incoming
+            + self.outgoing_calls
+            + self.replies_from_outgoing
+            + self.state_records
+            + self.last_call_replies
+        )
+
+
+@dataclass
+class CheckpointChain:
+    """One begin..end checkpoint bracket found on the log."""
+
+    begin_lsn: int
+    end_lsn: int
+    context_entries: int = 0
+    remote_type_entries: int = 0
+    last_call_entries: int = 0
+    complete: bool = False
+
+
+@dataclass
+class LogSummary:
+    """Everything :func:`summarize_log` found."""
+
+    process_name: str
+    base_lsn: int = 0
+    stable_lsn: int = 0
+    record_count: int = 0
+    records_by_kind: dict = field(default_factory=dict)
+    messages_by_kind: dict = field(default_factory=dict)
+    short_records: int = 0
+    contexts: dict = field(default_factory=dict)  # id -> ContextActivity
+    checkpoints: list = field(default_factory=list)
+    published_checkpoint_lsn: int | None = None
+
+    def context(self, context_id: int) -> ContextActivity:
+        if context_id not in self.contexts:
+            self.contexts[context_id] = ContextActivity(context_id)
+        return self.contexts[context_id]
+
+
+def summarize_log(log: LogManager) -> LogSummary:
+    """Scan a log end to end and account for every record."""
+    summary = LogSummary(
+        process_name=log.process_name,
+        base_lsn=log.base_lsn,
+        stable_lsn=log.stable_lsn,
+        published_checkpoint_lsn=log.read_well_known_lsn(),
+    )
+    by_kind: TallyCounter = TallyCounter()
+    message_kinds: TallyCounter = TallyCounter()
+    open_checkpoint: CheckpointChain | None = None
+
+    for lsn, record in log.scan():
+        summary.record_count += 1
+        by_kind[type(record).__name__] += 1
+        if isinstance(record, MessageRecord):
+            message_kinds[record.kind.name] += 1
+            if record.short:
+                summary.short_records += 1
+            activity = summary.context(record.context_id)
+            if record.kind is MessageKind.INCOMING_CALL:
+                activity.incoming_calls += 1
+            elif record.kind is MessageKind.REPLY_TO_INCOMING:
+                activity.replies_to_incoming += 1
+            elif record.kind is MessageKind.OUTGOING_CALL:
+                activity.outgoing_calls += 1
+            else:
+                activity.replies_from_outgoing += 1
+        elif isinstance(record, CreationRecord):
+            summary.context(record.context_id).creations += 1
+        elif isinstance(record, ContextStateRecord):
+            summary.context(record.context_id).state_records += 1
+        elif isinstance(record, LastCallReplyRecord):
+            summary.context(record.context_id).last_call_replies += 1
+        elif isinstance(record, BeginCheckpointRecord):
+            open_checkpoint = CheckpointChain(begin_lsn=lsn, end_lsn=-1)
+            summary.checkpoints.append(open_checkpoint)
+        elif isinstance(record, CheckpointContextTableRecord):
+            if open_checkpoint is not None:
+                open_checkpoint.context_entries += len(record.entries)
+        elif isinstance(record, CheckpointRemoteTypeRecord):
+            if open_checkpoint is not None:
+                open_checkpoint.remote_type_entries += len(record.entries)
+        elif isinstance(record, CheckpointLastCallRecord):
+            if open_checkpoint is not None:
+                open_checkpoint.last_call_entries += len(record.entries)
+        elif isinstance(record, EndCheckpointRecord):
+            if (
+                open_checkpoint is not None
+                and record.begin_lsn == open_checkpoint.begin_lsn
+            ):
+                open_checkpoint.end_lsn = lsn
+                open_checkpoint.complete = True
+            open_checkpoint = None
+
+    summary.records_by_kind = dict(by_kind)
+    summary.messages_by_kind = dict(message_kinds)
+    return summary
+
+
+def format_summary(summary: LogSummary) -> str:
+    """A human-readable report."""
+    lines = [
+        f"log of process {summary.process_name}",
+        f"  LSN range: [{summary.base_lsn}, {summary.stable_lsn}) "
+        f"({summary.stable_lsn - summary.base_lsn} stable bytes)",
+        f"  records: {summary.record_count}",
+    ]
+    for name in sorted(summary.records_by_kind):
+        lines.append(f"    {name}: {summary.records_by_kind[name]}")
+    if summary.messages_by_kind:
+        lines.append("  messages by kind:")
+        for name in sorted(summary.messages_by_kind):
+            lines.append(f"    {name}: {summary.messages_by_kind[name]}")
+    if summary.short_records:
+        lines.append(f"  short records: {summary.short_records}")
+    if summary.contexts:
+        lines.append("  contexts:")
+        for context_id in sorted(summary.contexts):
+            activity = summary.contexts[context_id]
+            lines.append(
+                f"    #{context_id}: {activity.incoming_calls} in, "
+                f"{activity.replies_from_outgoing} replies logged, "
+                f"{activity.state_records} state records"
+            )
+    if summary.checkpoints:
+        complete = sum(1 for c in summary.checkpoints if c.complete)
+        lines.append(
+            f"  checkpoints: {len(summary.checkpoints)} "
+            f"({complete} complete)"
+        )
+    if summary.published_checkpoint_lsn is not None:
+        lines.append(
+            f"  published checkpoint LSN: "
+            f"{summary.published_checkpoint_lsn}"
+        )
+    return "\n".join(lines)

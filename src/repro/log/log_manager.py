@@ -1,0 +1,293 @@
+"""Per-process log manager.
+
+Paper Section 4.1: "Message records and checkpoints are stored in disk
+based log files.  We manage disk files on a per-process basis to simplify
+file access.  Logging is performed through a log manager in a process."
+And Section 5: "Log records accumulate in a buffer and are written at a
+log force or full buffer."
+
+The manager keeps an in-memory buffer of framed records.  ``append``
+assigns the record its LSN (the byte offset its frame will occupy in the
+stable log) without touching the disk; ``force`` writes the whole buffer
+as one unbuffered disk write and only then are those records durable.  A
+process crash discards the buffer — that loss, and recovery's tolerance
+of it, is the heart of the paper's Algorithm 2 argument.
+
+The well-known file (Section 4.3) is a tiny per-process stable file that
+holds the LSN of the last flushed begin-checkpoint record.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..errors import InvariantViolationError, LogCorruptionError
+from ..sim.disk import RotationalDisk
+from ..sim.stable_store import StableFile, StableStore
+from .records import LogRecord, decode_record, encode_record
+from .serialization import frame, read_frame
+
+_WELL_KNOWN_STRUCT = struct.Struct("<q")
+
+
+@dataclass
+class LogStats:
+    """Counters used throughout the evaluation (e.g. Table 8 reports the
+    number of log forces)."""
+
+    appends: int = 0
+    forces_requested: int = 0
+    forces_performed: int = 0  # forces that actually wrote to disk
+    buffer_flushes: int = 0
+    bytes_appended: int = 0
+    bytes_written: int = 0
+    well_known_writes: int = 0
+    truncations: int = 0
+    bytes_reclaimed: int = 0
+
+    def snapshot(self) -> "LogStats":
+        return LogStats(**vars(self))
+
+
+class LogManager:
+    """Buffered, forceable, per-process log."""
+
+    def __init__(
+        self,
+        process_name: str,
+        disk: RotationalDisk,
+        stable_store: StableStore,
+        buffer_capacity: int = 64 * 1024,
+    ):
+        self.process_name = process_name
+        self.disk = disk
+        self.stable_store = stable_store
+        self.buffer_capacity = buffer_capacity
+        self.stats = LogStats()
+
+        log_name = f"{process_name}.log"
+        self._stable = stable_store.open(log_name, create=True)
+        if not disk.has_file(log_name):
+            disk.create_file(log_name)
+        self._disk_file = disk.file(log_name)
+
+        well_known_name = f"{process_name}.wellknown"
+        self._well_known = stable_store.open(well_known_name, create=True)
+        if not disk.has_file(well_known_name):
+            disk.create_file(well_known_name)
+        self._well_known_disk_file = disk.file(well_known_name)
+
+        self._buffer = bytearray()
+        # Logical LSNs survive prefix truncation: physical offset =
+        # LSN - base_lsn.
+        self._base_lsn = 0
+        self._buffer_start_lsn = self._stable.size
+
+    # ------------------------------------------------------------------
+    # appending and forcing
+    # ------------------------------------------------------------------
+    @property
+    def end_lsn(self) -> int:
+        """The LSN the next appended record will receive."""
+        return self._buffer_start_lsn + len(self._buffer)
+
+    @property
+    def stable_lsn(self) -> int:
+        """Everything below this LSN is durable."""
+        return self._buffer_start_lsn
+
+    @property
+    def base_lsn(self) -> int:
+        """The oldest LSN still on the log (grows with truncation)."""
+        return self._base_lsn
+
+    def append(self, record: LogRecord) -> int:
+        """Buffer a record; return its LSN.  Does not touch the disk."""
+        framed = frame(encode_record(record))
+        lsn = self.end_lsn
+        self._buffer.extend(framed)
+        self.stats.appends += 1
+        self.stats.bytes_appended += len(framed)
+        if len(self._buffer) >= self.buffer_capacity:
+            self._flush(count_as_force=False)
+        return lsn
+
+    def force(self) -> bool:
+        """Make every appended record durable.
+
+        Returns True if a disk write actually happened (an empty buffer
+        means everything is already stable and the force is free — this
+        is exactly why Algorithm 2's "force all previous messages" can be
+        cheap when several components share a recently forced log).
+        """
+        self.stats.forces_requested += 1
+        if not self._buffer:
+            return False
+        self._flush(count_as_force=True)
+        return True
+
+    def _flush(self, count_as_force: bool) -> None:
+        data = bytes(self._buffer)
+        self.disk.write(self._disk_file, len(data))
+        self._stable.append(data)
+        self._buffer.clear()
+        self._buffer_start_lsn = self._base_lsn + self._stable.size
+        self.stats.bytes_written += len(data)
+        if count_as_force:
+            self.stats.forces_performed += 1
+        else:
+            self.stats.buffer_flushes += 1
+
+    def append_and_force(self, record: LogRecord) -> int:
+        """Convenience for the baseline algorithm: log then force."""
+        lsn = self.append(record)
+        self.force()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # crash behaviour
+    # ------------------------------------------------------------------
+    def wipe_volatile(self) -> int:
+        """Simulate a process crash: the buffer is lost.
+
+        Returns the number of buffered bytes that were discarded."""
+        lost = len(self._buffer)
+        self._buffer.clear()
+        self._buffer_start_lsn = self._base_lsn + self._stable.size
+        return lost
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def repair_tail(self) -> int:
+        """Truncate a torn tail left by a crash mid-write.
+
+        Scans frames from the beginning and truncates the stable file at
+        the first torn frame.  Interior corruption (a bad frame followed
+        by good data) raises :class:`LogCorruptionError` instead of being
+        silently dropped.  Returns the repaired stable end LSN.
+        """
+        data = self._stable.read()
+        offset = 0
+        last_good = 0
+        while True:
+            try:
+                result = read_frame(data, offset)
+            except LogCorruptionError:
+                # Torn tail only if nothing decodable follows.
+                if _any_frame_after(data, offset):
+                    raise
+                self._stable.truncate(last_good)
+                self._buffer_start_lsn = self._base_lsn + last_good
+                return self._base_lsn + last_good
+            if result is None:
+                return self._base_lsn + last_good
+            _, offset = result
+            last_good = offset
+
+    def scan(self, from_lsn: int = 0) -> Iterator[tuple[int, LogRecord]]:
+        """Yield ``(lsn, record)`` for every stable record from
+        ``from_lsn`` (clamped to the truncation base) to the end of the
+        stable log."""
+        data = self._stable.read()
+        offset = max(from_lsn, self._base_lsn) - self._base_lsn
+        while True:
+            result = read_frame(data, offset)
+            if result is None:
+                return
+            payload, next_offset = result
+            yield self._base_lsn + offset, decode_record(payload)
+            offset = next_offset
+
+    def read_record(self, lsn: int) -> LogRecord:
+        """Read the single record whose frame starts at ``lsn``."""
+        data = self._stable.read()
+        if lsn < self._base_lsn:
+            raise InvariantViolationError(
+                f"LSN {lsn} was garbage-collected (base {self._base_lsn})"
+            )
+        physical = lsn - self._base_lsn
+        if physical > len(data):
+            raise InvariantViolationError(
+                f"LSN {lsn} outside the stable log (size {len(data)})"
+            )
+        result = read_frame(data, physical)
+        if result is None:
+            raise InvariantViolationError(f"no record at LSN {lsn}")
+        payload, _ = result
+        return decode_record(payload)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def truncate_prefix(self, keep_from_lsn: int) -> int:
+        """Reclaim all records below ``keep_from_lsn``.
+
+        The caller (the process's checkpoint machinery) must guarantee
+        that ``keep_from_lsn`` is a record boundary and that nothing
+        below it will ever be read again — i.e. it is at or below every
+        recovery-start LSN and every referenced reply LSN.  Returns the
+        number of bytes reclaimed.
+        """
+        if keep_from_lsn <= self._base_lsn:
+            return 0
+        if keep_from_lsn > self.stable_lsn:
+            raise InvariantViolationError(
+                f"cannot truncate into the volatile buffer "
+                f"(keep_from={keep_from_lsn}, stable={self.stable_lsn})"
+            )
+        nbytes = keep_from_lsn - self._base_lsn
+        self._stable.trim_front(nbytes)
+        self._base_lsn = keep_from_lsn
+        self.stats.truncations += 1
+        self.stats.bytes_reclaimed += nbytes
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # well-known file (Section 4.3)
+    # ------------------------------------------------------------------
+    def write_well_known_lsn(self, lsn: int) -> None:
+        """Force the begin-checkpoint LSN into the well-known file."""
+        self.disk.write(self._well_known_disk_file, _WELL_KNOWN_STRUCT.size)
+        self._well_known.overwrite(_WELL_KNOWN_STRUCT.pack(lsn))
+        self.stats.well_known_writes += 1
+
+    def read_well_known_lsn(self) -> int | None:
+        """The LSN of the last flushed begin-checkpoint record, if any."""
+        data = self._well_known.read()
+        if len(data) != _WELL_KNOWN_STRUCT.size:
+            return None
+        (lsn,) = _WELL_KNOWN_STRUCT.unpack(data)
+        return lsn if lsn >= 0 else None
+
+    def __repr__(self) -> str:
+        return (
+            f"LogManager({self.process_name}, stable={self.stable_lsn}B, "
+            f"buffered={len(self._buffer)}B, "
+            f"forces={self.stats.forces_performed})"
+        )
+
+
+def _any_frame_after(data: bytes, bad_offset: int) -> bool:
+    """Is there a decodable frame anywhere after a corrupt one?
+
+    Used to distinguish a torn tail (safe to truncate) from interior
+    corruption (must be surfaced).  We search for the frame magic and try
+    to decode from each candidate position.
+    """
+    from .serialization import _FRAME_MAGIC  # local: implementation detail
+
+    magic_bytes = struct.pack("<H", _FRAME_MAGIC)
+    search_from = bad_offset + 1
+    while True:
+        candidate = data.find(magic_bytes, search_from)
+        if candidate < 0:
+            return False
+        try:
+            if read_frame(data, candidate) is not None:
+                return True
+        except LogCorruptionError:
+            pass
+        search_from = candidate + 1

@@ -1,0 +1,388 @@
+"""Log record types.
+
+Paper Table 1 and Sections 2.3, 4.2 and 4.3 define what goes on the log:
+
+* **message records** — one of the four message kinds, logged by a
+  context's interceptor according to the active logging algorithm.
+  Algorithm 3 distinguishes *long* records (full message content) from
+  *short* records (only the fact that a reply was sent);
+* **creation records** — class, constructor arguments and identity of a
+  new (parent) component, enough to re-create it during replay;
+* **context state records** — the field values of every component in a
+  context plus the context-table metadata needed to rebuild it
+  (Section 4.2);
+* **last-call reply records** — replies of last-call entries, written
+  just before a context state record so duplicate detection survives a
+  restore that skips replay (Section 4.2);
+* **process checkpoint records** — ``begin`` / table dumps / ``end``
+  bracketing an incremental copy of the process's global tables
+  (Section 4.3).
+
+Each record serializes to a tagged payload; the log manager frames the
+payload with a CRC (see :mod:`repro.log.serialization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.ids import GlobalCallId
+from ..common.messages import MessageKind, MethodCallMessage, ReplyMessage
+from ..common.types import ComponentType
+from ..errors import LogCorruptionError
+from .serialization import Reader, Writer
+
+CallerKey = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class; ``context_id`` is the parent component ID that names
+    the logging context (paper Section 4.2), or ``-1`` for process-level
+    records."""
+
+    context_id: int
+
+
+@dataclass(frozen=True)
+class MessageRecord(LogRecord):
+    """A logged message (any of Figure 1's four kinds).
+
+    ``short=True`` records carry no message content — only the fact that
+    the message was sent (Algorithm 3's short record for message 2 to an
+    external client)."""
+
+    kind: MessageKind = MessageKind.INCOMING_CALL
+    message: MethodCallMessage | ReplyMessage | None = None
+    short: bool = False
+
+
+@dataclass(frozen=True)
+class CreationRecord(LogRecord):
+    """Creation of a (parent) component and its context."""
+
+    component_lid: int = 0
+    class_name: str = ""
+    args: tuple = ()
+    uri: str = ""
+    component_type: ComponentType = ComponentType.PERSISTENT
+    registered_name: str = ""
+
+
+@dataclass(frozen=True)
+class ComponentStateSnapshot:
+    """One component's saved fields inside a context state record."""
+
+    component_lid: int
+    class_name: str
+    component_type: ComponentType
+    fields: dict
+    next_outgoing_seq: int
+
+
+@dataclass(frozen=True)
+class LastCallEntrySnapshot:
+    """A last-call table entry as saved in a state record: the caller,
+    the last call ID, and the LSN of the logged reply message."""
+
+    caller_key: CallerKey
+    call_id: GlobalCallId
+    reply_lsn: int
+
+
+@dataclass(frozen=True)
+class ContextStateRecord(LogRecord):
+    """Saved state of a whole context (parent + subordinates)."""
+
+    uri: str = ""
+    incoming_calls_handled: int = 0
+    snapshots: tuple[ComponentStateSnapshot, ...] = ()
+    last_calls: tuple[LastCallEntrySnapshot, ...] = ()
+
+
+@dataclass(frozen=True)
+class LastCallReplyRecord(LogRecord):
+    """The reply message of a last-call entry, made durable before a
+    context state record is written (Section 4.2)."""
+
+    caller_key: CallerKey = ("", 0, 0)
+    call_id: GlobalCallId = GlobalCallId("", 0, 0, 0)
+    reply: ReplyMessage = ReplyMessage(call_id=None)
+
+
+@dataclass(frozen=True)
+class BeginCheckpointRecord(LogRecord):
+    """Start of a process checkpoint (context_id is -1)."""
+
+
+@dataclass(frozen=True)
+class CheckpointContextEntry:
+    """Context-table entry dumped inside a process checkpoint."""
+
+    context_id: int
+    uri: str
+    state_record_lsn: int  # -1 when no state record has been saved yet
+    creation_lsn: int
+
+
+@dataclass(frozen=True)
+class CheckpointContextTableRecord(LogRecord):
+    """A sub-range of the context table (Section 4.3 writes the global
+    tables incrementally under sub-range locks)."""
+
+    entries: tuple[CheckpointContextEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class CheckpointRemoteTypeRecord(LogRecord):
+    """A sub-range of the remote-component-type table."""
+
+    entries: tuple[tuple[str, ComponentType], ...] = ()
+
+
+@dataclass(frozen=True)
+class CheckpointLastCallRecord(LogRecord):
+    """A sub-range of the last-call table (IDs and reply LSNs only;
+    reply content is read lazily when a duplicate call arrives)."""
+
+    entries: tuple[LastCallEntrySnapshot, ...] = ()
+
+
+@dataclass(frozen=True)
+class EndCheckpointRecord(LogRecord):
+    """End of a process checkpoint; points back at its begin record."""
+
+    begin_lsn: int = -1
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+_TAG_MESSAGE = 1
+_TAG_CREATION = 2
+_TAG_CONTEXT_STATE = 3
+_TAG_LAST_CALL_REPLY = 4
+_TAG_BEGIN_CHECKPOINT = 5
+_TAG_CHECKPOINT_CONTEXTS = 6
+_TAG_CHECKPOINT_REMOTE_TYPES = 7
+_TAG_CHECKPOINT_LAST_CALLS = 8
+_TAG_END_CHECKPOINT = 9
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Serialize a record into a frame payload."""
+    writer = Writer()
+    if isinstance(record, MessageRecord):
+        writer.u8(_TAG_MESSAGE)
+        writer.signed(record.context_id)
+        writer.u8(record.kind.value)
+        writer.u8(1 if record.short else 0)
+        writer.value(record.message)
+    elif isinstance(record, CreationRecord):
+        writer.u8(_TAG_CREATION)
+        writer.signed(record.context_id)
+        writer.signed(record.component_lid)
+        writer.text(record.class_name)
+        writer.value(tuple(record.args))
+        writer.text(record.uri)
+        writer.text(record.component_type.wire_value)
+        writer.text(record.registered_name)
+    elif isinstance(record, ContextStateRecord):
+        writer.u8(_TAG_CONTEXT_STATE)
+        writer.signed(record.context_id)
+        writer.text(record.uri)
+        writer.signed(record.incoming_calls_handled)
+        writer.u32(len(record.snapshots))
+        for snapshot in record.snapshots:
+            writer.signed(snapshot.component_lid)
+            writer.text(snapshot.class_name)
+            writer.text(snapshot.component_type.wire_value)
+            writer.value(snapshot.fields)
+            writer.signed(snapshot.next_outgoing_seq)
+        _encode_last_calls(writer, record.last_calls)
+    elif isinstance(record, LastCallReplyRecord):
+        writer.u8(_TAG_LAST_CALL_REPLY)
+        writer.signed(record.context_id)
+        _encode_caller_key(writer, record.caller_key)
+        writer.call_id(record.call_id)
+        writer.reply(record.reply)
+    elif isinstance(record, BeginCheckpointRecord):
+        writer.u8(_TAG_BEGIN_CHECKPOINT)
+        writer.signed(record.context_id)
+    elif isinstance(record, CheckpointContextTableRecord):
+        writer.u8(_TAG_CHECKPOINT_CONTEXTS)
+        writer.signed(record.context_id)
+        writer.u32(len(record.entries))
+        for entry in record.entries:
+            writer.signed(entry.context_id)
+            writer.text(entry.uri)
+            writer.signed(entry.state_record_lsn)
+            writer.signed(entry.creation_lsn)
+    elif isinstance(record, CheckpointRemoteTypeRecord):
+        writer.u8(_TAG_CHECKPOINT_REMOTE_TYPES)
+        writer.signed(record.context_id)
+        writer.u32(len(record.entries))
+        for uri, component_type in record.entries:
+            writer.text(uri)
+            writer.text(component_type.wire_value)
+    elif isinstance(record, CheckpointLastCallRecord):
+        writer.u8(_TAG_CHECKPOINT_LAST_CALLS)
+        writer.signed(record.context_id)
+        _encode_last_calls(writer, record.entries)
+    elif isinstance(record, EndCheckpointRecord):
+        writer.u8(_TAG_END_CHECKPOINT)
+        writer.signed(record.context_id)
+        writer.signed(record.begin_lsn)
+    else:
+        raise LogCorruptionError(
+            f"unknown record class {type(record).__name__}"
+        )
+    return writer.getvalue()
+
+
+def decode_record(payload: bytes) -> LogRecord:
+    """Decode a frame payload back into a record.
+
+    Malformed payloads (wrong tags, bad enum values, truncated fields)
+    surface uniformly as :class:`LogCorruptionError`."""
+    try:
+        return _decode_record(payload)
+    except LogCorruptionError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise LogCorruptionError(f"malformed record payload: {exc}") from None
+
+
+def _decode_record(payload: bytes) -> LogRecord:
+    reader = Reader(payload)
+    tag = reader.u8()
+    if tag == _TAG_MESSAGE:
+        context_id = reader.signed()
+        kind = MessageKind(reader.u8())
+        short = bool(reader.u8())
+        message = reader.value()
+        return MessageRecord(
+            context_id=context_id, kind=kind, message=message, short=short
+        )
+    if tag == _TAG_CREATION:
+        context_id = reader.signed()
+        component_lid = reader.signed()
+        class_name = reader.text()
+        args = tuple(reader.value())
+        uri = reader.text()
+        component_type = ComponentType.from_wire(reader.text())
+        registered_name = reader.text()
+        return CreationRecord(
+            context_id=context_id,
+            component_lid=component_lid,
+            class_name=class_name,
+            args=args,
+            uri=uri,
+            component_type=component_type,
+            registered_name=registered_name,
+        )
+    if tag == _TAG_CONTEXT_STATE:
+        context_id = reader.signed()
+        uri = reader.text()
+        incoming_calls_handled = reader.signed()
+        snapshots = []
+        for _ in range(reader.u32()):
+            snapshots.append(
+                ComponentStateSnapshot(
+                    component_lid=reader.signed(),
+                    class_name=reader.text(),
+                    component_type=ComponentType.from_wire(reader.text()),
+                    fields=reader.value(),
+                    next_outgoing_seq=reader.signed(),
+                )
+            )
+        last_calls = _decode_last_calls(reader)
+        return ContextStateRecord(
+            context_id=context_id,
+            uri=uri,
+            incoming_calls_handled=incoming_calls_handled,
+            snapshots=tuple(snapshots),
+            last_calls=last_calls,
+        )
+    if tag == _TAG_LAST_CALL_REPLY:
+        context_id = reader.signed()
+        caller_key = _decode_caller_key(reader)
+        call_id = reader.call_id()
+        reply = reader.reply()
+        return LastCallReplyRecord(
+            context_id=context_id,
+            caller_key=caller_key,
+            call_id=call_id,
+            reply=reply,
+        )
+    if tag == _TAG_BEGIN_CHECKPOINT:
+        return BeginCheckpointRecord(context_id=reader.signed())
+    if tag == _TAG_CHECKPOINT_CONTEXTS:
+        context_id = reader.signed()
+        entries = []
+        for _ in range(reader.u32()):
+            entries.append(
+                CheckpointContextEntry(
+                    context_id=reader.signed(),
+                    uri=reader.text(),
+                    state_record_lsn=reader.signed(),
+                    creation_lsn=reader.signed(),
+                )
+            )
+        return CheckpointContextTableRecord(
+            context_id=context_id, entries=tuple(entries)
+        )
+    if tag == _TAG_CHECKPOINT_REMOTE_TYPES:
+        context_id = reader.signed()
+        entries = []
+        for _ in range(reader.u32()):
+            uri = reader.text()
+            component_type = ComponentType.from_wire(reader.text())
+            entries.append((uri, component_type))
+        return CheckpointRemoteTypeRecord(
+            context_id=context_id, entries=tuple(entries)
+        )
+    if tag == _TAG_CHECKPOINT_LAST_CALLS:
+        context_id = reader.signed()
+        entries = _decode_last_calls(reader)
+        return CheckpointLastCallRecord(
+            context_id=context_id, entries=entries
+        )
+    if tag == _TAG_END_CHECKPOINT:
+        context_id = reader.signed()
+        begin_lsn = reader.signed()
+        return EndCheckpointRecord(context_id=context_id, begin_lsn=begin_lsn)
+    raise LogCorruptionError(f"unknown record tag {tag}")
+
+
+def _encode_caller_key(writer: Writer, key: CallerKey) -> None:
+    writer.text(key[0])
+    writer.signed(key[1])
+    writer.signed(key[2])
+
+
+def _decode_caller_key(reader: Reader) -> CallerKey:
+    return (reader.text(), reader.signed(), reader.signed())
+
+
+def _encode_last_calls(
+    writer: Writer, entries: tuple[LastCallEntrySnapshot, ...]
+) -> None:
+    writer.u32(len(entries))
+    for entry in entries:
+        _encode_caller_key(writer, entry.caller_key)
+        writer.call_id(entry.call_id)
+        writer.signed(entry.reply_lsn)
+
+
+def _decode_last_calls(reader: Reader) -> tuple[LastCallEntrySnapshot, ...]:
+    entries = []
+    for _ in range(reader.u32()):
+        entries.append(
+            LastCallEntrySnapshot(
+                caller_key=_decode_caller_key(reader),
+                call_id=reader.call_id(),
+                reply_lsn=reader.signed(),
+            )
+        )
+    return tuple(entries)

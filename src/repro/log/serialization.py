@@ -1,0 +1,449 @@
+"""Binary codec for log records and checkpointed component state.
+
+The log holds real bytes: every record is serialized with this codec,
+framed with a length + CRC32 header, and genuinely decoded again during
+recovery.  That keeps the recovery path honest (it reads what normal
+execution wrote, not in-memory objects) and gives the log the torn-tail
+detection that a real write-ahead log needs.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list``, ``tuple``, ``dict``, ``set``, ``frozenset``, plus
+the library's wire types (:class:`GlobalCallId`, :class:`ComponentRef`,
+:class:`LocalRef`, :class:`ComponentType`, :class:`SenderInfo`, and the
+two message classes).  Component fields that fall outside this set fail
+checkpointing with a clear :class:`SerializationError` — the same
+contract .NET serialization imposed on the original system.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from ..common.ids import ComponentRef, GlobalCallId, LocalRef
+from ..common.messages import MethodCallMessage, ReplyMessage, SenderInfo
+from ..common.types import ComponentType
+from ..errors import LogCorruptionError, SerializationError
+
+# --- value tags -------------------------------------------------------
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"
+_T_FLOAT = b"D"
+_T_STR = b"S"
+_T_BYTES = b"B"
+_T_LIST = b"L"
+_T_TUPLE = b"U"
+_T_DICT = b"M"
+_T_SET = b"E"
+_T_FROZENSET = b"Z"
+_T_CALL_ID = b"K"
+_T_COMPONENT_REF = b"R"
+_T_LOCAL_REF = b"r"
+_T_COMPONENT_TYPE = b"Y"
+_T_SENDER_INFO = b"A"
+_T_METHOD_CALL = b"C"
+_T_REPLY = b"P"
+
+_MAX_INT_BYTES = 64  # generous: 512-bit integers
+
+
+class Writer:
+    """Appends primitives and tagged values to a byte buffer."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- primitives ----------------------------------------------------
+    def raw(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def u8(self, value: int) -> None:
+        self.raw(struct.pack("<B", value))
+
+    def u32(self, value: int) -> None:
+        self.raw(struct.pack("<I", value))
+
+    def u64(self, value: int) -> None:
+        self.raw(struct.pack("<Q", value))
+
+    def f64(self, value: float) -> None:
+        self.raw(struct.pack("<d", value))
+
+    def text(self, value: str) -> None:
+        data = value.encode("utf-8")
+        self.u32(len(data))
+        self.raw(data)
+
+    def blob(self, value: bytes) -> None:
+        self.u32(len(value))
+        self.raw(bytes(value))
+
+    def signed(self, value: int) -> None:
+        """Arbitrary-precision signed integer (length-prefixed)."""
+        nbytes = max(1, (value.bit_length() + 8) // 8)
+        if nbytes > _MAX_INT_BYTES:
+            raise SerializationError(f"integer too large to log: {value!r}")
+        self.u8(nbytes)
+        self.raw(value.to_bytes(nbytes, "little", signed=True))
+
+    # -- tagged values ---------------------------------------------------
+    def value(self, obj: object) -> None:
+        """Serialize a tagged value of any supported type."""
+        if obj is None:
+            self.raw(_T_NONE)
+        elif obj is True:
+            self.raw(_T_TRUE)
+        elif obj is False:
+            self.raw(_T_FALSE)
+        elif type(obj) is int:
+            self.raw(_T_INT)
+            self.signed(obj)
+        elif type(obj) is float:
+            self.raw(_T_FLOAT)
+            self.f64(obj)
+        elif type(obj) is str:
+            self.raw(_T_STR)
+            self.text(obj)
+        elif type(obj) in (bytes, bytearray):
+            self.raw(_T_BYTES)
+            self.blob(bytes(obj))
+        elif type(obj) is list:
+            self.raw(_T_LIST)
+            self._sequence(obj)
+        elif type(obj) is tuple:
+            self.raw(_T_TUPLE)
+            self._sequence(obj)
+        elif type(obj) is dict:
+            self.raw(_T_DICT)
+            self.u32(len(obj))
+            for key, item in obj.items():
+                self.value(key)
+                self.value(item)
+        elif type(obj) is set:
+            self.raw(_T_SET)
+            self._sequence(_stable_order(obj))
+        elif type(obj) is frozenset:
+            self.raw(_T_FROZENSET)
+            self._sequence(_stable_order(obj))
+        elif type(obj) is GlobalCallId:
+            self.raw(_T_CALL_ID)
+            self.call_id(obj)
+        elif type(obj) is ComponentRef:
+            self.raw(_T_COMPONENT_REF)
+            self.text(obj.uri)
+        elif type(obj) is LocalRef:
+            self.raw(_T_LOCAL_REF)
+            self.signed(obj.component_lid)
+        elif type(obj) is ComponentType:
+            self.raw(_T_COMPONENT_TYPE)
+            self.text(obj.wire_value)
+        elif type(obj) is SenderInfo:
+            self.raw(_T_SENDER_INFO)
+            self.sender_info(obj)
+        elif type(obj) is MethodCallMessage:
+            self.raw(_T_METHOD_CALL)
+            self.method_call(obj)
+        elif type(obj) is ReplyMessage:
+            self.raw(_T_REPLY)
+            self.reply(obj)
+        else:
+            raise SerializationError(
+                f"cannot serialize {type(obj).__name__} value {obj!r}; "
+                "persistent component fields and method arguments must be "
+                "built from plain data types and component references"
+            )
+
+    def _sequence(self, items) -> None:
+        items = list(items)
+        self.u32(len(items))
+        for item in items:
+            self.value(item)
+
+    # -- composite wire types -------------------------------------------
+    def call_id(self, call_id: GlobalCallId) -> None:
+        self.text(call_id.machine)
+        self.signed(call_id.process_lid)
+        self.signed(call_id.component_lid)
+        self.signed(call_id.seq)
+
+    def optional_call_id(self, call_id: GlobalCallId | None) -> None:
+        if call_id is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.call_id(call_id)
+
+    def sender_info(self, info: SenderInfo) -> None:
+        self.text(info.component_type.wire_value)
+        self.text(info.component_uri)
+        self.u8(1 if info.knows_receiver else 0)
+
+    def optional_sender_info(self, info: SenderInfo | None) -> None:
+        if info is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.sender_info(info)
+
+    def method_call(self, msg: MethodCallMessage) -> None:
+        self.text(msg.target_uri)
+        self.text(msg.method)
+        self.optional_call_id(msg.call_id)
+        self.optional_sender_info(msg.sender)
+        self.u8(1 if msg.method_read_only else 0)
+        self.value(tuple(msg.args))
+        self.value(tuple(msg.kwargs))
+
+    def reply(self, msg: ReplyMessage) -> None:
+        self.optional_call_id(msg.call_id)
+        self.u8(1 if msg.is_exception else 0)
+        self.text(msg.exception_message)
+        self.optional_sender_info(msg.sender)
+        self.u8(1 if msg.method_read_only else 0)
+        self.value(msg.value)
+
+
+def _stable_order(items) -> list:
+    """Deterministic ordering for sets (sorted by serialized bytes)."""
+
+    def key(item: object) -> bytes:
+        writer = Writer()
+        writer.value(item)
+        return writer.getvalue()
+
+    return sorted(items, key=key)
+
+
+class Reader:
+    """Decodes what :class:`Writer` wrote."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    # -- primitives ----------------------------------------------------
+    def raw(self, length: int) -> bytes:
+        end = self._pos + length
+        if end > len(self._data):
+            raise LogCorruptionError(
+                f"truncated value: wanted {length} bytes at {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self.raw(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.raw(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.raw(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.raw(8))[0]
+
+    def text(self) -> str:
+        length = self.u32()
+        try:
+            return self.raw(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogCorruptionError(
+                f"invalid UTF-8 in value at {self._pos}: {exc}"
+            ) from None
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        return self.raw(length)
+
+    def signed(self) -> int:
+        nbytes = self.u8()
+        return int.from_bytes(self.raw(nbytes), "little", signed=True)
+
+    # -- tagged values ---------------------------------------------------
+    def value(self) -> object:
+        tag = self.raw(1)
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return self.signed()
+        if tag == _T_FLOAT:
+            return self.f64()
+        if tag == _T_STR:
+            return self.text()
+        if tag == _T_BYTES:
+            return self.blob()
+        if tag == _T_LIST:
+            return list(self._sequence())
+        if tag == _T_TUPLE:
+            return tuple(self._sequence())
+        if tag == _T_DICT:
+            count = self.u32()
+            return {self.value(): self.value() for _ in range(count)}
+        if tag == _T_SET:
+            return set(self._sequence())
+        if tag == _T_FROZENSET:
+            return frozenset(self._sequence())
+        if tag == _T_CALL_ID:
+            return self.call_id()
+        if tag == _T_COMPONENT_REF:
+            return ComponentRef(self.text())
+        if tag == _T_LOCAL_REF:
+            return LocalRef(self.signed())
+        if tag == _T_COMPONENT_TYPE:
+            return ComponentType.from_wire(self.text())
+        if tag == _T_SENDER_INFO:
+            return self.sender_info()
+        if tag == _T_METHOD_CALL:
+            return self.method_call()
+        if tag == _T_REPLY:
+            return self.reply()
+        raise LogCorruptionError(f"unknown value tag {tag!r} at {self._pos}")
+
+    def _sequence(self) -> list:
+        count = self.u32()
+        return [self.value() for _ in range(count)]
+
+    # -- composite wire types -------------------------------------------
+    def call_id(self) -> GlobalCallId:
+        return GlobalCallId(
+            machine=self.text(),
+            process_lid=self.signed(),
+            component_lid=self.signed(),
+            seq=self.signed(),
+        )
+
+    def optional_call_id(self) -> GlobalCallId | None:
+        return self.call_id() if self.u8() else None
+
+    def sender_info(self) -> SenderInfo:
+        return SenderInfo(
+            component_type=ComponentType.from_wire(self.text()),
+            component_uri=self.text(),
+            knows_receiver=bool(self.u8()),
+        )
+
+    def optional_sender_info(self) -> SenderInfo | None:
+        return self.sender_info() if self.u8() else None
+
+    def method_call(self) -> MethodCallMessage:
+        target_uri = self.text()
+        method = self.text()
+        call_id = self.optional_call_id()
+        sender = self.optional_sender_info()
+        method_read_only = bool(self.u8())
+        args = self.value()
+        kwargs = self.value()
+        return MethodCallMessage(
+            target_uri=target_uri,
+            method=method,
+            args=tuple(args),
+            kwargs=tuple(tuple(pair) for pair in kwargs),
+            call_id=call_id,
+            sender=sender,
+            method_read_only=method_read_only,
+        )
+
+    def reply(self) -> ReplyMessage:
+        call_id = self.optional_call_id()
+        is_exception = bool(self.u8())
+        exception_message = self.text()
+        sender = self.optional_sender_info()
+        method_read_only = bool(self.u8())
+        value = self.value()
+        return ReplyMessage(
+            call_id=call_id,
+            value=value,
+            is_exception=is_exception,
+            exception_message=exception_message,
+            sender=sender,
+            method_read_only=method_read_only,
+        )
+
+
+def encode_value(obj: object) -> bytes:
+    """Serialize one value (convenience for tests and size estimates)."""
+    writer = Writer()
+    writer.value(obj)
+    return writer.getvalue()
+
+
+def decode_value(data: bytes) -> object:
+    reader = Reader(data)
+    obj = reader.value()
+    if not reader.at_end():
+        raise LogCorruptionError(
+            f"{len(data) - reader.position} trailing bytes after value"
+        )
+    return obj
+
+
+def serialized_size(obj: object) -> int:
+    """Exact on-wire size of a value (used for network/disk charging)."""
+    return len(encode_value(obj))
+
+
+# ----------------------------------------------------------------------
+# record framing: [magic u16][length u32][crc32 u32][payload]
+# ----------------------------------------------------------------------
+_FRAME_MAGIC = 0x9A7C
+_FRAME_HEADER = struct.Struct("<HII")
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a record payload in the CRC32 frame the log writes."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _FRAME_HEADER.pack(_FRAME_MAGIC, len(payload), crc) + payload
+
+
+def read_frame(data: bytes, offset: int) -> tuple[bytes, int] | None:
+    """Read one frame at ``offset``.
+
+    Returns ``(payload, next_offset)``, or ``None`` for a clean end of
+    log (no bytes past ``offset``).  A partial or corrupt frame raises
+    :class:`LogCorruptionError`; the log manager treats corruption at the
+    *tail* as a torn write and truncates, but corruption in the interior
+    is surfaced to the operator.
+    """
+    if offset == len(data):
+        return None
+    if offset + _FRAME_HEADER.size > len(data):
+        raise LogCorruptionError(f"torn frame header at offset {offset}")
+    magic, length, crc = _FRAME_HEADER.unpack_from(data, offset)
+    if magic != _FRAME_MAGIC:
+        raise LogCorruptionError(f"bad frame magic at offset {offset}")
+    start = offset + _FRAME_HEADER.size
+    end = start + length
+    if end > len(data):
+        raise LogCorruptionError(f"torn frame payload at offset {offset}")
+    payload = bytes(data[start:end])
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise LogCorruptionError(f"CRC mismatch at offset {offset}")
+    return payload, end
+
+
+def frame_overhead() -> int:
+    return _FRAME_HEADER.size

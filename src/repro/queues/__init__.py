@@ -1,0 +1,37 @@
+"""The stateless/queued comparison substrate (paper Section 1.1).
+
+The paper motivates Phoenix/App against the then-standard way to build
+highly available middle tiers: *stateless* components that communicate
+through *recoverable message queues*, reading their state from durable
+storage at every invocation and writing it back before replying — the
+TP-monitor "string of beads" model of Bernstein/Hsu/Mann (SIGMOD 1990)
+and Gray & Reuter.  The costs the paper calls out:
+
+* "At every invocation, a component must read state information from a
+  queue before processing and write it back after processing, which is
+  an unnatural model."
+* "And distributed commits for the distributed message queues are
+  potentially expensive."
+
+This package implements that model for real — durable queues, a durable
+state store, a two-phase-commit coordinator, and a stateless worker
+framework — so the claim can be *measured* against Phoenix/App on the
+same simulated hardware (see ``benchmarks/bench_queue_comparison.py``).
+"""
+
+from .queue import QueueRecord, RecoverableQueue
+from .state_store import DurableStateStore
+from .transaction import TransactionCoordinator, TransactionParticipant
+from .worker import QueuedClient, QueuedRequest, StatelessWorker, WorkerStats
+
+__all__ = [
+    "RecoverableQueue",
+    "QueueRecord",
+    "DurableStateStore",
+    "TransactionCoordinator",
+    "TransactionParticipant",
+    "StatelessWorker",
+    "QueuedClient",
+    "QueuedRequest",
+    "WorkerStats",
+]

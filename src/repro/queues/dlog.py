@@ -1,0 +1,68 @@
+"""A minimal durable record log for the queued substrate.
+
+Each resource manager (queue, state store, transaction coordinator)
+owns one of these: an append-only stable file of CRC-framed, tagged
+records, forced on demand against the machine's rotational disk — the
+same storage discipline Phoenix/App's log manager uses, without the
+Phoenix record vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import LogCorruptionError
+from ..log.serialization import Reader, Writer, frame, read_frame
+from ..sim.machine import Machine
+
+
+class DurableLog:
+    """Append-only, forceable log of (tag, value) records."""
+
+    def __init__(self, machine: Machine, name: str):
+        self.machine = machine
+        self.name = name
+        file_name = f"{name}.qlog"
+        self._stable = machine.stable_store.open(file_name, create=True)
+        if not machine.disk.has_file(file_name):
+            machine.disk.create_file(file_name)
+        self._disk_file = machine.disk.file(file_name)
+        self._buffer = bytearray()
+        self.forces = 0
+        self.appends = 0
+
+    def append(self, tag: str, value: object) -> None:
+        writer = Writer()
+        writer.text(tag)
+        writer.value(value)
+        self._buffer.extend(frame(writer.getvalue()))
+        self.appends += 1
+
+    def force(self) -> bool:
+        """Flush buffered records with one unbuffered disk write."""
+        if not self._buffer:
+            return False
+        self.machine.disk.write(self._disk_file, len(self._buffer))
+        self._stable.append(bytes(self._buffer))
+        self._buffer.clear()
+        self.forces += 1
+        return True
+
+    def wipe_volatile(self) -> None:
+        """A crash loses whatever was not forced."""
+        self._buffer.clear()
+
+    def records(self) -> Iterator[tuple[str, object]]:
+        """Replay the stable records (torn tails are skipped)."""
+        data = self._stable.read()
+        offset = 0
+        while True:
+            try:
+                result = read_frame(data, offset)
+            except LogCorruptionError:
+                return  # torn tail
+            if result is None:
+                return
+            payload, offset = result
+            reader = Reader(payload)
+            yield reader.text(), reader.value()

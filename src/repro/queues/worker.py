@@ -1,0 +1,151 @@
+"""The stateless worker — the TP-monitor "string of beads" model.
+
+A worker holds **no** state between invocations.  For every request it:
+
+1. dequeues the request from its input queue,
+2. reads its state from the durable state store,
+3. runs the application function,
+4. writes the new state back,
+5. enqueues the reply on the output queue,
+6. commits — atomically, across queues and store (2PC when they are
+   distinct resource managers).
+
+Steps 2 and 4 are the "unnatural model" the Phoenix/App paper contrasts
+with its natural stateful components; step 6 is the distributed-commit
+cost its introduction calls "potentially expensive".  A worker crash
+needs no recovery at all — that is the model's selling point — but
+every single request pays the full transactional toll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sim.machine import Machine
+from .queue import RecoverableQueue
+from .state_store import DurableStateStore
+from .transaction import TransactionCoordinator
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    request_id: int
+    operation: str
+    args: tuple
+
+
+@dataclass
+class WorkerStats:
+    requests: int = 0
+    commits: int = 0
+    replies: int = 0
+
+
+class StatelessWorker:
+    """Processes requests from an input queue against durable state."""
+
+    def __init__(
+        self,
+        name: str,
+        coordinator: TransactionCoordinator,
+        input_queue: RecoverableQueue,
+        output_queue: RecoverableQueue,
+        state_store: DurableStateStore,
+        handler: Callable,
+        state_key: str = "state",
+        initial_state: object = None,
+    ):
+        self.name = name
+        self.coordinator = coordinator
+        self.input_queue = input_queue
+        self.output_queue = output_queue
+        self.state_store = state_store
+        self.handler = handler
+        self.state_key = state_key
+        self.initial_state = initial_state
+        self.stats = WorkerStats()
+
+    def process_one(self) -> bool:
+        """Handle the next queued request; returns False if idle.
+
+        The whole interaction — dequeue, state update, reply enqueue —
+        commits atomically, which is what makes the stateless model
+        exactly-once despite worker crashes.
+        """
+        with self.coordinator.begin() as txn:
+            message = self.input_queue.dequeue(txn)
+            if message is None:
+                txn.abort()
+                return False
+            raw = message.payload
+            request = QueuedRequest(
+                raw["request_id"], raw["operation"], tuple(raw["args"])
+            )
+            state = self.state_store.get_in_txn(
+                txn, self.state_key, self.initial_state
+            )
+            new_state, reply = self.handler(state, request)
+            self.state_store.set(txn, self.state_key, new_state)
+            self.output_queue.enqueue(
+                txn, {"request_id": request.request_id, "reply": reply}
+            )
+        self.stats.requests += 1
+        self.stats.commits += 1
+        self.stats.replies += 1
+        return True
+
+    def drain(self) -> int:
+        """Process until the input queue is empty; returns the count."""
+        handled = 0
+        while self.process_one():
+            handled += 1
+        return handled
+
+
+class QueuedClient:
+    """The client half: submits requests and collects replies, each in
+    its own committed transaction (the request must be durable before
+    the client can forget it; the reply dequeue must be durable before
+    the client acts on it)."""
+
+    def __init__(
+        self,
+        coordinator: TransactionCoordinator,
+        request_queue: RecoverableQueue,
+        reply_queue: RecoverableQueue,
+    ):
+        self.coordinator = coordinator
+        self.request_queue = request_queue
+        self.reply_queue = reply_queue
+        self._next_request_id = 1
+
+    def submit(self, operation: str, *args: object) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        with self.coordinator.begin() as txn:
+            self.request_queue.enqueue(
+                txn,
+                {
+                    "request_id": request_id,
+                    "operation": operation,
+                    "args": list(args),
+                },
+            )
+        return request_id
+
+    def collect_reply(self):
+        with self.coordinator.begin() as txn:
+            message = self.reply_queue.dequeue(txn)
+            if message is None:
+                txn.abort()
+                return None
+        return message.payload
+
+    def call(self, worker: StatelessWorker, operation: str, *args: object):
+        """Synchronous request/reply round trip through the queues."""
+        self.submit(operation, *args)
+        worker.process_one()
+        reply = self.collect_reply()
+        assert reply is not None, "worker produced no reply"
+        return reply["reply"]

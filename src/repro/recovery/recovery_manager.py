@@ -1,0 +1,482 @@
+"""Recovery (paper Section 4.4 and Figure 5).
+
+Process-crash recovery runs two passes over the stable log:
+
+* **Pass 1** starts at the LSN in the well-known file (the last flushed
+  process checkpoint), or at the beginning of the log.  It finds every
+  context that existed at the crash, the latest state-record LSN (or
+  creation LSN) of each, and seeds the global tables from the
+  checkpoint's table records.  Contexts with state records are restored
+  right after this pass (ordinary fields applied, component references
+  resolved).
+
+* **Pass 2** scans from the minimum recovery-start LSN to the end,
+  buffering each context's message records until its next incoming call
+  record; the buffered previous call is then replayed with its outgoing
+  calls answered from the buffered replies.  After the scan, the
+  remaining buffered calls — the last incoming call of each context —
+  are replayed; if a reply to an outgoing call is missing from the log,
+  the call is not suppressed and normal execution begins (the log has
+  run dry).  Replay regenerates the last-call table; its replies are
+  never sent (condition 5) — the caller's retry fetches them via
+  duplicate detection.
+
+Context-crash recovery is the easy case at the bottom: restore the
+context's latest state record (or replay its creation) and replay only
+that context's incoming calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..common.messages import MessageKind, MethodCallMessage, ReplyMessage
+from ..core.context import Context
+from ..core.interceptor import MessageInterceptor
+from ..core.swizzle import unswizzle_for_message
+from ..core.tables import ContextTableEntry, NO_LSN
+from ..errors import RecoveryError
+from ..log.records import (
+    BeginCheckpointRecord,
+    CheckpointContextTableRecord,
+    CheckpointLastCallRecord,
+    CheckpointRemoteTypeRecord,
+    ContextStateRecord,
+    CreationRecord,
+    EndCheckpointRecord,
+    LastCallReplyRecord,
+    LogRecord,
+    MessageRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.process import AppProcess
+
+
+@dataclass
+class _ContextDiscovery:
+    """What pass 1 learned about one context."""
+
+    context_id: int
+    creation_lsn: int = NO_LSN
+    creation: CreationRecord | None = None
+    state_lsn: int = NO_LSN
+    state: ContextStateRecord | None = None
+
+    @property
+    def start_lsn(self) -> int:
+        return self.state_lsn if self.state_lsn != NO_LSN else self.creation_lsn
+
+
+@dataclass
+class _Pending:
+    """A buffered call awaiting replay (Figure 5)."""
+
+    order: int
+    creation: CreationRecord | None = None
+    message: MethodCallMessage | None = None
+    replies: list[ReplyMessage] = field(default_factory=list)
+    reply_sent: bool = False
+
+
+class RecoveryManager:
+    """Recovers one crashed process."""
+
+    def __init__(self, process: "AppProcess"):
+        self.process = process
+        self.runtime = process.runtime
+        self._pending: dict[int, _Pending] = {}
+        self._order = 0
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        process = self.process
+        runtime = self.runtime
+        runtime.clock.advance(runtime.costs.runtime_init)
+        process.log.repair_tail()
+        process.active_recovery = self
+
+        try:
+            discoveries = self._pass_one()
+            self._restore_saved_contexts(discoveries)
+            self._pass_two(discoveries)
+            self._drain_all()
+            # Make everything recovery produced (including effects of
+            # live-continued calls) stable before declaring the process
+            # recovered.
+            process.log.force()
+        finally:
+            process.active_recovery = None
+        if process.context_table:
+            process._next_component_lid = max(process.context_table) + 1
+
+    # ------------------------------------------------------------------
+    # pass 1
+    # ------------------------------------------------------------------
+    def _pass_one(self) -> dict[int, _ContextDiscovery]:
+        process = self.process
+        log = process.log
+        start = log.read_well_known_lsn() or 0
+        discoveries: dict[int, _ContextDiscovery] = {}
+
+        def discovery(context_id: int) -> _ContextDiscovery:
+            if context_id not in discoveries:
+                discoveries[context_id] = _ContextDiscovery(context_id)
+            return discoveries[context_id]
+
+        for lsn, record in log.scan(start):
+            if isinstance(record, CreationRecord):
+                info = discovery(record.context_id)
+                info.creation_lsn = lsn
+                info.creation = record
+            elif isinstance(record, ContextStateRecord):
+                info = discovery(record.context_id)
+                if lsn > info.state_lsn:
+                    info.state_lsn = lsn
+                    info.state = record
+            elif isinstance(record, CheckpointContextTableRecord):
+                for entry in record.entries:
+                    info = discovery(entry.context_id)
+                    if info.creation_lsn == NO_LSN:
+                        info.creation_lsn = entry.creation_lsn
+                    if entry.state_record_lsn > info.state_lsn:
+                        info.state_lsn = entry.state_record_lsn
+                        info.state = None  # read lazily below
+            elif isinstance(record, CheckpointRemoteTypeRecord):
+                for uri, component_type in record.entries:
+                    process.remote_types.seed(uri, component_type)
+            elif isinstance(record, CheckpointLastCallRecord):
+                for entry in record.entries:
+                    process.last_calls.seed(
+                        entry.caller_key,
+                        entry.call_id,
+                        NO_LSN,
+                        reply_lsn=entry.reply_lsn,
+                    )
+            # Message, last-call-reply and begin/end checkpoint records
+            # are pass-2 material.
+
+        # Materialize records the checkpoint only pointed at.  A context
+        # with a state record does not need its creation record — the
+        # state record carries identity and class information — which is
+        # what lets log garbage collection reclaim old creation records.
+        for info in discoveries.values():
+            if info.state_lsn != NO_LSN and info.state is None:
+                record = log.read_record(info.state_lsn)
+                if not isinstance(record, ContextStateRecord):
+                    raise RecoveryError(
+                        f"checkpoint points at LSN {info.state_lsn}, which "
+                        "is not a context state record"
+                    )
+                info.state = record
+            if info.creation is None and info.state is None:
+                if info.creation_lsn == NO_LSN:
+                    raise RecoveryError(
+                        f"context {info.context_id} has neither a creation "
+                        "record nor a state record on the log"
+                    )
+                record = log.read_record(info.creation_lsn)
+                if not isinstance(record, CreationRecord):
+                    raise RecoveryError(
+                        f"LSN {info.creation_lsn} is not a creation record"
+                    )
+                info.creation = record
+        return discoveries
+
+    # ------------------------------------------------------------------
+    # restore contexts that have state records
+    # ------------------------------------------------------------------
+    def _restore_saved_contexts(
+        self, discoveries: dict[int, _ContextDiscovery]
+    ) -> None:
+        from ..checkpoint.state_record import restore_context_state
+
+        for info in sorted(discoveries.values(), key=lambda d: d.context_id):
+            if info.state is None:
+                continue
+            context = self._register_context(info)
+            # Reading the creation record, creating the object shell and
+            # registering it costs the same as the creation path; the
+            # state restore is charged inside restore_context_state.
+            self.runtime.clock.advance(self.runtime.costs.object_creation)
+            restore_context_state(self.process, context, info.state)
+
+    def _register_context(self, info: _ContextDiscovery) -> Context:
+        """Materialize the Context shell from the creation record, or —
+        when the creation record was garbage-collected — from the state
+        record's identity information."""
+        process = self.process
+        if info.creation is not None:
+            uri = info.creation.uri
+            component_type = info.creation.component_type
+        else:
+            state = info.state
+            assert state is not None and state.snapshots
+            uri = state.uri
+            component_type = state.snapshots[0].component_type
+        context = Context(
+            process,
+            info.context_id,
+            uri,
+            component_type,
+        )
+        process.context_table[info.context_id] = ContextTableEntry(
+            context_id=info.context_id,
+            uri=uri,
+            state_record_lsn=info.state_lsn,
+            creation_lsn=info.creation_lsn,
+            context_ref=context,
+        )
+        return context
+
+    # ------------------------------------------------------------------
+    # pass 2
+    # ------------------------------------------------------------------
+    def _pass_two(self, discoveries: dict[int, _ContextDiscovery]) -> None:
+        if not discoveries:
+            return
+        process = self.process
+        start = min(info.start_lsn for info in discoveries.values())
+        skip_before = {
+            info.context_id: info.state_lsn for info in discoveries.values()
+        }
+
+        for lsn, record in process.log.scan(start):
+            context_id = record.context_id
+            threshold = skip_before.get(context_id, NO_LSN)
+            if threshold != NO_LSN and lsn <= threshold:
+                continue  # earlier than the restored state record
+            if isinstance(
+                record,
+                (
+                    BeginCheckpointRecord,
+                    EndCheckpointRecord,
+                    CheckpointContextTableRecord,
+                    CheckpointRemoteTypeRecord,
+                    CheckpointLastCallRecord,
+                    ContextStateRecord,
+                ),
+            ):
+                continue
+            if isinstance(record, CreationRecord):
+                info = discoveries.get(context_id)
+                if info is not None and info.state is not None:
+                    continue  # restored from a later state record
+                self._register_context(
+                    discoveries.get(context_id)
+                    or _ContextDiscovery(
+                        context_id, creation_lsn=lsn, creation=record
+                    )
+                )
+                self._pending[context_id] = _Pending(
+                    order=self._next_order(), creation=record
+                )
+            elif isinstance(record, LastCallReplyRecord):
+                process.last_calls.seed(
+                    record.caller_key,
+                    record.call_id,
+                    record.context_id,
+                    reply_lsn=lsn,
+                )
+            elif isinstance(record, MessageRecord):
+                self._scan_message(context_id, lsn, record)
+
+    def _scan_message(
+        self, context_id: int, lsn: int, record: MessageRecord
+    ) -> None:
+        process = self.process
+        if record.kind is MessageKind.INCOMING_CALL:
+            message = record.message
+            assert isinstance(message, MethodCallMessage)
+            pending = self._pending.get(context_id)
+            if pending is not None:
+                del self._pending[context_id]
+                self._replay(context_id, pending, final=False)
+            self._pending[context_id] = _Pending(
+                order=self._next_order(), message=message
+            )
+            if message.call_id is not None:
+                client_type = MessageInterceptor.client_type_of(message)
+                if client_type.is_persistent_family:
+                    process.last_calls.seed(
+                        message.call_id.caller_key,
+                        message.call_id,
+                        context_id,
+                    )
+        elif record.kind is MessageKind.REPLY_FROM_OUTGOING:
+            pending = self._pending.get(context_id)
+            if pending is None:
+                # A reply whose incoming call predates this context's
+                # replay window (restored state covers it).
+                return
+            assert isinstance(record.message, ReplyMessage)
+            pending.replies.append(record.message)
+        elif record.kind is MessageKind.REPLY_TO_INCOMING:
+            pending = self._pending.get(context_id)
+            if pending is not None:
+                pending.reply_sent = True
+            reply = record.message
+            if (
+                not record.short
+                and isinstance(reply, ReplyMessage)
+                and reply.call_id is not None
+            ):
+                process.last_calls.seed(
+                    reply.call_id.caller_key,
+                    reply.call_id,
+                    context_id,
+                    reply_lsn=lsn,
+                )
+        # OUTGOING_CALL records (baseline only) are regenerated by replay.
+
+    def _next_order(self) -> int:
+        self._order += 1
+        return self._order
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _replay(
+        self, context_id: int, pending: _Pending, final: bool
+    ) -> None:
+        process = self.process
+        entry = process.context_table.get(context_id)
+        if entry is None or entry.context_ref is None:
+            raise RecoveryError(
+                f"no context {context_id} registered for replay"
+            )
+        context = entry.context_ref
+        context.enter_replay(pending.replies)
+        try:
+            if pending.creation is not None:
+                self._replay_creation(context, pending.creation)
+                reply = None
+                client_type = None
+                method_read_only = False
+            else:
+                message = pending.message
+                assert message is not None
+                reply = context.interceptor.invoke_for_replay(message)
+                client_type = MessageInterceptor.client_type_of(message)
+                from ..core.attributes import is_read_only_method
+
+                method_read_only = is_read_only_method(
+                    type(context.parent), message.method
+                )
+            leftovers = len(context.replay_replies)
+            if leftovers:
+                raise RecoveryError(
+                    f"replay of context {context_id} left {leftovers} logged "
+                    "replies unconsumed; the component did not re-execute "
+                    "deterministically"
+                )
+        finally:
+            if context.replaying:
+                context.leave_replay()
+        if final and reply is not None and not pending.reply_sent:
+            # The paper's "proceeds to force log and send it": make the
+            # fact of the reply durable per the active algorithm.  The
+            # reply itself is never pushed (condition 5); a persistent
+            # client's retry fetches it through duplicate detection.
+            process.policy.on_reply_send(
+                context, reply, client_type, method_read_only
+            )
+
+    def _replay_creation(
+        self, context: Context, record: CreationRecord
+    ) -> None:
+        process = self.process
+        runtime = self.runtime
+        runtime.clock.advance(runtime.costs.object_creation)
+        cls = runtime.registry.lookup(record.class_name)
+        component = process._attach_instance(
+            context, cls, record.component_lid, record.component_type
+        )
+        context.begin_incoming(None)
+        runtime.push_context(context)
+        try:
+            component.__init__(
+                *unswizzle_for_message(tuple(record.args), runtime)
+            )
+        finally:
+            runtime.pop_context()
+            context.end_incoming()
+        context.incoming_calls_handled = 0
+
+    def _drain_all(self) -> None:
+        """Replay the remaining buffered calls — the last incoming call
+        of every context — in log order."""
+        while self._pending:
+            context_id = min(
+                self._pending, key=lambda cid: self._pending[cid].order
+            )
+            self.drain_context(context_id)
+
+    def drain_context(self, context_id: int) -> None:
+        """Finish a context's pending replay now.
+
+        Called by the runtime when a live call (from another context's
+        replay that went live) arrives at a context whose own replay has
+        not run yet — the replay must complete first so duplicate
+        detection finds the regenerated reply.
+        """
+        pending = self._pending.pop(context_id, None)
+        if pending is not None:
+            self._replay(context_id, pending, final=True)
+
+
+# ----------------------------------------------------------------------
+# context-level recovery (paper Section 4.4, last paragraph)
+# ----------------------------------------------------------------------
+def recover_context(context: Context) -> None:
+    """Recover a crashed context inside a live process."""
+    from ..checkpoint.state_record import restore_context_state
+
+    process = context.process
+    runtime = context.runtime
+    entry = process.context_table.get(context.context_id)
+    if entry is None:
+        raise RecoveryError(
+            f"context {context.context_id} is not in the context table"
+        )
+    start = entry.recovery_start_lsn
+    if start == NO_LSN:
+        raise RecoveryError(
+            f"context {context.context_id} has no creation or state record"
+        )
+
+    context.subordinates = {}
+    context.parent = None
+    context.next_outgoing_seq = 0
+    context.incoming_calls_handled = 0
+
+    pending: _Pending | None = None
+    restored = False
+    if entry.state_record_lsn != NO_LSN:
+        record = process.log.read_record(entry.state_record_lsn)
+        if not isinstance(record, ContextStateRecord):
+            raise RecoveryError(
+                f"LSN {entry.state_record_lsn} is not a state record"
+            )
+        runtime.clock.advance(runtime.costs.object_creation)
+        restore_context_state(process, context, record)
+        restored = True
+
+    manager = RecoveryManager(process)
+    for lsn, record in process.log.scan(start):
+        if record.context_id != context.context_id:
+            continue
+        if restored and lsn <= entry.state_record_lsn:
+            continue
+        if isinstance(record, CreationRecord) and not restored:
+            manager._pending[context.context_id] = _Pending(
+                order=manager._next_order(), creation=record
+            )
+        elif isinstance(record, MessageRecord):
+            manager._scan_message(context.context_id, lsn, record)
+    context.crashed = False
+    manager.drain_context(context.context_id)
+    process.log.force()

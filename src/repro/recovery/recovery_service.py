@@ -1,0 +1,117 @@
+"""The per-machine recovery service (paper Section 2.4, Figure 4).
+
+"All processes that host persistent components register at start time
+with the Phoenix/App recovery service running on their machine.  The
+recovery service monitors the abnormal exits of the registered processes
+and restarts those processes.  It keeps the information of registered
+processes in a table and force writes updates to the table to its log to
+make the table persistent."
+
+The service assigns the stable logical process IDs that form part of
+every method-call ID; because the table is durable, a restarted process
+gets the *same* logical PID, keeping regenerated call IDs identical
+(condition 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import InvariantViolationError
+from ..log.serialization import Reader, Writer, frame, read_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.process import AppProcess
+    from ..core.runtime import PhoenixRuntime
+    from ..sim.machine import Machine
+
+
+class RecoveryService:
+    """One per machine; owns the durable process-registration table."""
+
+    def __init__(self, machine: "Machine", runtime: "PhoenixRuntime"):
+        self.machine = machine
+        self.runtime = runtime
+        self._table: dict[str, int] = {}  # process name -> logical pid
+        self._next_pid = 1
+        self._crashed: set[str] = set()
+
+        log_name = "recovery-service.log"
+        self._stable = machine.stable_store.open(log_name, create=True)
+        if not machine.disk.has_file(log_name):
+            machine.disk.create_file(log_name)
+        self._disk_file = machine.disk.file(log_name)
+        self._load_table()
+
+    # ------------------------------------------------------------------
+    # durable registration table
+    # ------------------------------------------------------------------
+    def _load_table(self) -> None:
+        data = self._stable.read()
+        offset = 0
+        while True:
+            result = read_frame(data, offset)
+            if result is None:
+                break
+            payload, offset = result
+            reader = Reader(payload)
+            name = reader.text()
+            pid = reader.signed()
+            self._table[name] = pid
+            self._next_pid = max(self._next_pid, pid + 1)
+
+    def _persist_registration(self, name: str, pid: int) -> None:
+        writer = Writer()
+        writer.text(name)
+        writer.signed(pid)
+        data = frame(writer.getvalue())
+        self.machine.disk.write(self._disk_file, len(data))
+        self._stable.append(data)
+
+    def register(self, process: "AppProcess") -> int:
+        """Assign (or re-assign after a restart) the logical PID."""
+        existing = self._table.get(process.name)
+        if existing is not None:
+            return existing
+        pid = self._next_pid
+        self._next_pid += 1
+        self._table[process.name] = pid
+        self._persist_registration(process.name, pid)
+        return pid
+
+    def logical_pid_of(self, process_name: str) -> int:
+        try:
+            return self._table[process_name]
+        except KeyError:
+            raise InvariantViolationError(
+                f"process {process_name!r} never registered on "
+                f"{self.machine.name}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # monitoring & restart
+    # ------------------------------------------------------------------
+    def on_crash(self, process: "AppProcess") -> None:
+        """The monitored process exited abnormally."""
+        self._crashed.add(process.name)
+
+    def crashed_processes(self) -> list[str]:
+        return sorted(self._crashed)
+
+    def restart(self, process: "AppProcess") -> None:
+        """Restart a crashed process and drive its recovery manager.
+
+        The recovery service sends back the original process identity
+        (the stable logical PID) and directs the recovery manager to
+        recover (paper Section 4.4).
+        """
+        from ..core.process import ProcessState
+        from .recovery_manager import RecoveryManager
+
+        if process.state is not ProcessState.CRASHED:
+            return
+        process.begin_restart()
+        process.logical_pid = self.logical_pid_of(process.name)
+        RecoveryManager(process).recover()
+        process.finish_recovery()
+        self._crashed.discard(process.name)

@@ -1,0 +1,45 @@
+"""Simulation substrate: clock, disks, stable storage, network, machines.
+
+The paper measured a real two-machine testbed (Tables 2 and 3).  This
+package replaces that testbed with a deterministic simulation whose one
+mechanistic component — the rotational disk — reproduces the behaviour
+the paper's Section 5.2.2 identifies as dominating every measurement:
+unbuffered log forces that miss a full disk rotation.
+"""
+
+from .clock import SimClock, Stopwatch
+from .cluster import Cluster
+from .costs import (
+    DEFAULT_COSTS,
+    DEFAULT_MACHINE_SPEC,
+    DEFAULT_NETWORK_SPEC,
+    CostModel,
+    MachineSpec,
+    NetworkSpec,
+)
+from .disk import DEFAULT_GEOMETRY, DiskFile, DiskGeometry, DiskStats, RotationalDisk
+from .machine import Machine
+from .network import Network, NetworkStats
+from .stable_store import StableFile, StableStore
+
+__all__ = [
+    "SimClock",
+    "Stopwatch",
+    "Cluster",
+    "CostModel",
+    "MachineSpec",
+    "NetworkSpec",
+    "DEFAULT_COSTS",
+    "DEFAULT_MACHINE_SPEC",
+    "DEFAULT_NETWORK_SPEC",
+    "DEFAULT_GEOMETRY",
+    "DiskFile",
+    "DiskGeometry",
+    "DiskStats",
+    "RotationalDisk",
+    "Machine",
+    "Network",
+    "NetworkStats",
+    "StableFile",
+    "StableStore",
+]

@@ -1,0 +1,70 @@
+"""The simulated cluster: machines, a shared clock, and the network.
+
+This is the bottom of the stack.  The Phoenix/App runtime
+(:mod:`repro.core.runtime`) is built on top of a cluster: it places
+processes on machines, routes calls through the network, and charges the
+cost model against the shared clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import ConfigurationError
+from .clock import SimClock
+from .costs import DEFAULT_COSTS, DEFAULT_NETWORK_SPEC, CostModel, NetworkSpec
+from .disk import DEFAULT_GEOMETRY, DiskGeometry
+from .machine import Machine
+from .network import Network
+
+
+class Cluster:
+    """A set of machines sharing one simulated clock and network."""
+
+    def __init__(
+        self,
+        machine_names: Iterable[str] = ("alpha", "beta"),
+        costs: CostModel = DEFAULT_COSTS,
+        geometry: DiskGeometry = DEFAULT_GEOMETRY,
+        network_spec: NetworkSpec = DEFAULT_NETWORK_SPEC,
+        write_cache_enabled: bool = False,
+    ):
+        names = list(machine_names)
+        if not names:
+            raise ConfigurationError("a cluster needs at least one machine")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate machine names: {names}")
+        self.clock = SimClock()
+        self.costs = costs
+        self.network = Network(self.clock, network_spec)
+        self._machines = {
+            name: Machine(
+                name,
+                self.clock,
+                geometry=geometry,
+                write_cache_enabled=write_cache_enabled,
+            )
+            for name in names
+        }
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no machine {name!r}; cluster has {sorted(self._machines)}"
+            ) from None
+
+    def machines(self) -> list[Machine]:
+        return list(self._machines.values())
+
+    def machine_names(self) -> list[str]:
+        return sorted(self._machines)
+
+    def __repr__(self) -> str:
+        return f"Cluster({self.machine_names()}, now={self.now:.3f}ms)"

@@ -1,0 +1,68 @@
+"""A simulated machine: disks, stable storage, and hosted processes.
+
+Machines are the unit of locality in the simulation.  A process's log
+lives on its machine's disk; calls between processes on the same machine
+pay no network cost; each machine runs one Phoenix/App recovery service
+(paper Section 2.4), which the runtime layer attaches after construction
+so this module stays free of upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import InvariantViolationError
+from .clock import SimClock
+from .costs import DEFAULT_COSTS, CostModel
+from .disk import DEFAULT_GEOMETRY, DiskGeometry, RotationalDisk
+from .stable_store import StableStore
+
+
+class Machine:
+    """One machine of the simulated cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        geometry: DiskGeometry = DEFAULT_GEOMETRY,
+        write_cache_enabled: bool = False,
+    ):
+        self.name = name
+        self.clock = clock
+        self.stable_store = StableStore(name)
+        self.disk = RotationalDisk(
+            clock,
+            geometry,
+            write_cache_enabled=write_cache_enabled,
+            name=f"{name}:disk0",
+        )
+        # Attached by the runtime layer (repro.recovery.recovery_service).
+        self.recovery_service: Any = None
+        self._processes: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # process registry (entries are repro.core.process.AppProcess)
+    # ------------------------------------------------------------------
+    def register_process(self, process: Any) -> None:
+        if process.name in self._processes:
+            raise InvariantViolationError(
+                f"process {process.name!r} already registered on {self.name}"
+            )
+        self._processes[process.name] = process
+
+    def process(self, name: str) -> Any:
+        return self._processes[name]
+
+    def has_process(self, name: str) -> bool:
+        return name in self._processes
+
+    def processes(self) -> list[Any]:
+        return list(self._processes.values())
+
+    def set_write_cache(self, enabled: bool) -> None:
+        """Toggle the disk write cache (paper Table 6 compares both)."""
+        self.disk.write_cache_enabled = enabled
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name}, processes={sorted(self._processes)})"

@@ -1,0 +1,112 @@
+"""Section 5.5.2, literally: the PriceGrabber under multi-call.
+
+"In our current prototype, the log is forced by the PriceGrabber at
+every Bookstore reply.  With the multi-call optimization in section 3.5,
+the log would be forced only when the PriceGrabber itself returned.
+Hence, the PriceGrabber forces the log only once, regardless of the
+number of Bookstores it queries."
+
+We deploy the bookstore's *persistent* PriceGrabber variant (the
+specialized read-only one never forces at all) in its own process, with
+a varying number of stores, and count its forces per search.
+"""
+
+import pytest
+
+from repro import PhoenixRuntime, RuntimeConfig
+from repro.apps.bookstore import Bookstore, PriceGrabberPersistent, make_catalog
+
+
+def deploy_grabber(n_stores: int, multicall: bool):
+    config = RuntimeConfig.optimized(multicall_optimization=multicall)
+    runtime = PhoenixRuntime(config=config)
+    runtime.external_client_machine = "alpha"
+    stores_process = runtime.spawn_process("stores", machine="beta")
+    stores = [
+        stores_process.create_component(Bookstore, args=(make_catalog(i),))
+        for i in range(n_stores)
+    ]
+    grabber_process = runtime.spawn_process("grabber", machine="beta")
+    grabber = grabber_process.create_component(
+        PriceGrabberPersistent, args=(stores,)
+    )
+    return runtime, grabber_process, grabber
+
+
+def forces_per_search(n_stores: int, multicall: bool) -> int:
+    runtime, process, grabber = deploy_grabber(n_stores, multicall)
+    grabber.search("recovery")  # learn server types / warm up
+    before = process.log.stats.forces_performed
+    grabber.search("recovery")
+    return process.log.stats.forces_performed - before
+
+
+class TestPriceGrabberMulticall:
+    @pytest.mark.parametrize("n_stores", [1, 2, 4, 8])
+    def test_without_multicall_forces_grow_with_stores(self, n_stores):
+        """Without the optimization, Bookstore.search being a read-only
+        method already spares the per-reply force — so disable that too
+        to see the paper's 'forced at every Bookstore reply' baseline."""
+        config = RuntimeConfig.optimized(
+            read_only_method_optimization=False
+        )
+        runtime = PhoenixRuntime(config=config)
+        runtime.external_client_machine = "alpha"
+        stores_process = runtime.spawn_process("stores", machine="beta")
+        stores = [
+            stores_process.create_component(
+                Bookstore, args=(make_catalog(i),)
+            )
+            for i in range(n_stores)
+        ]
+        grabber_process = runtime.spawn_process("grabber", machine="beta")
+        grabber = grabber_process.create_component(
+            PriceGrabberPersistent, args=(stores,)
+        )
+        grabber.search("recovery")
+        before = grabber_process.log.stats.forces_performed
+        grabber.search("recovery")
+        forces = grabber_process.log.stats.forces_performed - before
+        # one force per store call + the reply force
+        assert forces == n_stores + 1
+
+    @pytest.mark.parametrize("n_stores", [1, 2, 4, 8])
+    def test_with_multicall_forces_constant(self, n_stores):
+        config = RuntimeConfig.optimized(
+            read_only_method_optimization=False,
+            multicall_optimization=True,
+        )
+        runtime = PhoenixRuntime(config=config)
+        runtime.external_client_machine = "alpha"
+        stores_process = runtime.spawn_process("stores", machine="beta")
+        stores = [
+            stores_process.create_component(
+                Bookstore, args=(make_catalog(i),)
+            )
+            for i in range(n_stores)
+        ]
+        grabber_process = runtime.spawn_process("grabber", machine="beta")
+        grabber = grabber_process.create_component(
+            PriceGrabberPersistent, args=(stores,)
+        )
+        grabber.search("recovery")
+        before = grabber_process.log.stats.forces_performed
+        grabber.search("recovery")
+        forces = grabber_process.log.stats.forces_performed - before
+        # "the PriceGrabber forces the log only once, regardless of the
+        # number of Bookstores it queries" — plus the external reply
+        # force of Algorithm 3
+        assert forces == 2
+
+    def test_read_only_methods_already_remove_the_forces(self):
+        """With Section 3.3's read-only methods on Bookstore.search
+        (the specialized system's approach), the replies need no force
+        either way — the two optimizations overlap here, which is why
+        the paper's Table 8 applies them in sequence."""
+        forces = forces_per_search(4, multicall=False)
+        assert forces == 2  # only the external msg1/msg2 forces remain
+
+    def test_results_unchanged_by_multicall(self):
+        __, __, plain = deploy_grabber(3, multicall=False)
+        __, __, multi = deploy_grabber(3, multicall=True)
+        assert plain.search("recovery") == multi.search("recovery")

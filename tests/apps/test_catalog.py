@@ -1,0 +1,34 @@
+"""Synthetic book catalog."""
+
+from repro.apps.bookstore import make_catalog, titles_matching
+
+
+class TestCatalog:
+    def test_deterministic(self):
+        assert make_catalog(0) == make_catalog(0)
+
+    def test_stores_differ_in_prices(self):
+        catalog0 = make_catalog(0)
+        catalog1 = make_catalog(1)
+        assert set(catalog0) == set(catalog1)  # same titles
+        assert catalog0 != catalog1  # different prices
+
+    def test_size_parameter(self):
+        assert len(make_catalog(0, size=10)) == 10
+
+    def test_recovery_keyword_always_matches(self):
+        for store in range(4):
+            catalog = make_catalog(store)
+            assert titles_matching(catalog, "recovery")
+
+    def test_matching_case_insensitive(self):
+        catalog = make_catalog(0)
+        assert titles_matching(catalog, "RECOVERY") == titles_matching(
+            catalog, "recovery"
+        )
+
+    def test_no_match(self):
+        assert titles_matching(make_catalog(0), "cooking") == []
+
+    def test_prices_positive(self):
+        assert all(price > 0 for price in make_catalog(0).values())

@@ -1,0 +1,75 @@
+"""The BookBuyer console (python -m repro.apps.bookstore)."""
+
+import pytest
+
+from repro.apps.bookstore.__main__ import Console, auto_session
+
+
+@pytest.fixture
+def console():
+    return Console()
+
+
+def first_title(console):
+    return console.app.price_grabber.search("recovery")[0][1]
+
+
+class TestConsoleCommands:
+    def test_search_prints_hits(self, console, capsys):
+        console.cmd_search("recovery")
+        out = capsys.readouterr().out
+        assert "store 0" in out and "store 1" in out
+        assert "$" in out
+
+    def test_search_no_match(self, console, capsys):
+        console.cmd_search("cooking")
+        assert "no books match" in capsys.readouterr().out
+
+    def test_buy_and_basket(self, console, capsys):
+        title = first_title(console)
+        console.cmd_buy("0", title)
+        console.cmd_basket()
+        out = capsys.readouterr().out
+        assert "bought for" in out
+        assert title in out
+
+    def test_buy_unknown_title(self, console, capsys):
+        console.cmd_buy("0", "No Such Book")
+        assert "cannot buy" in capsys.readouterr().out
+
+    def test_total_includes_tax(self, console, capsys):
+        title = first_title(console)
+        console.cmd_buy("0", title)
+        console.cmd_total()
+        out = capsys.readouterr().out
+        assert "subtotal" in out and "tax" in out
+
+    def test_clear(self, console, capsys):
+        title = first_title(console)
+        console.cmd_buy("0", title)
+        console.cmd_clear()
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_crash_then_keep_shopping(self, console, capsys):
+        title = first_title(console)
+        console.cmd_buy("0", title)
+        console.cmd_crash()
+        console.cmd_basket()
+        out = capsys.readouterr().out
+        assert "killed" in out
+        assert title in out  # the basket survived
+
+    def test_stats(self, console, capsys):
+        console.cmd_search("recovery")
+        console.cmd_stats()
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "log forces" in out
+
+
+class TestAutoSession:
+    def test_auto_session_runs(self, capsys):
+        assert auto_session(3) == 0
+        out = capsys.readouterr().out
+        assert "3 iterations" in out
+        assert "receipts all equal: True" in out

@@ -1,0 +1,72 @@
+"""Interleaved multi-buyer bookstore sessions."""
+
+import pytest
+
+from repro.apps.bookstore import (
+    BookBuyer,
+    OptimizationLevel,
+    deploy_bookstore,
+)
+
+
+@pytest.fixture(
+    params=list(OptimizationLevel),
+    ids=[level.value for level in OptimizationLevel],
+)
+def app(request):
+    return deploy_bookstore(
+        level=request.param, buyer_ids=("alice", "bob", "carol")
+    )
+
+
+class TestMultiBuyer:
+    def test_interleaved_sessions_stay_isolated(self, app):
+        buyers = {
+            name: BookBuyer(app, buyer_id=name)
+            for name in ("alice", "bob", "carol")
+        }
+        # interleave: each buyer adds different books, steps alternating
+        title_by_store = {
+            store_index: app.stores[store_index].search("recovery")[0][0]
+            for store_index in (0, 1)
+        }
+        app.seller.add_to_basket("alice", 0, title_by_store[0], 10.0)
+        app.seller.add_to_basket("bob", 1, title_by_store[1], 20.0)
+        app.seller.add_to_basket("alice", 1, title_by_store[1], 30.0)
+        app.seller.add_to_basket("carol", 0, title_by_store[0], 40.0)
+        assert app.seller.basket_subtotal("alice") == 40.0
+        assert app.seller.basket_subtotal("bob") == 20.0
+        assert app.seller.basket_subtotal("carol") == 40.0
+
+    def test_interleaved_sessions_survive_crash(self, app):
+        app.seller.add_to_basket("alice", 0, "Book A", 10.0)
+        app.seller.add_to_basket("bob", 0, "Book B", 20.0)
+        app.runtime.crash_process(app.server_process)
+        app.seller.add_to_basket("carol", 0, "Book C", 30.0)
+        assert app.seller.basket_subtotal("alice") == 10.0
+        assert app.seller.basket_subtotal("bob") == 20.0
+        assert app.seller.basket_subtotal("carol") == 30.0
+
+    def test_full_sessions_produce_independent_receipts(self, app):
+        reports = {}
+        for name in ("alice", "bob"):
+            buyer = BookBuyer(app, buyer_id=name)
+            reports[name] = buyer.run_session(iterations=2)
+        assert reports["alice"].totals == reports["bob"].totals
+        assert reports["alice"].books_added == 4
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_worlds(self):
+        def run():
+            app = deploy_bookstore(level=OptimizationLevel.SPECIALIZED)
+            buyer = BookBuyer(app)
+            report = buyer.run_session(iterations=4)
+            return (
+                tuple(report.totals),
+                report.elapsed_ms,
+                report.forces,
+                app.runtime.now,
+            )
+
+        assert run() == run()

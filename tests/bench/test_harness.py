@@ -1,0 +1,63 @@
+"""Micro-benchmark harness sanity."""
+
+import pytest
+
+from repro import ConfigurationError
+from repro.bench import run_pair
+
+
+class TestRunPair:
+    def test_returns_result_fields(self):
+        result = run_pair("external", "persistent", calls=10, warmup=2)
+        assert result.per_call_ms > 0
+        assert result.calls == 10
+        assert result.forces > 0
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_pair("alien", "persistent")
+        with pytest.raises(ConfigurationError):
+            run_pair("external", "alien")
+
+    def test_external_to_subordinate_impossible(self):
+        with pytest.raises(ConfigurationError):
+            run_pair("external", "subordinate")
+
+    def test_remote_native_costs_more_than_local(self):
+        local = run_pair(
+            "external", "context_bound", calls=20, warmup=2
+        ).per_call_ms
+        remote = run_pair(
+            "external", "context_bound", remote=True, calls=20, warmup=2
+        ).per_call_ms
+        assert remote > local
+
+    def test_functional_pair_never_forces(self):
+        result = run_pair("persistent", "functional", calls=20, warmup=2)
+        # only the measured batch's external-call wrapper forces at the
+        # client (Algorithm 3: message 1 + message 2); the 20 inner
+        # functional calls add none
+        assert result.forces == 2
+
+    def test_write_cache_speeds_up_forces(self):
+        slow = run_pair(
+            "persistent", "persistent", remote=True, calls=30, warmup=3
+        ).per_call_ms
+        fast = run_pair(
+            "persistent", "persistent", remote=True, calls=30, warmup=3,
+            write_cache=True,
+        ).per_call_ms
+        assert fast < slow / 2
+
+    def test_save_state_each_call_adds_overhead(self):
+        # measured with the write cache on so rotational phase locking
+        # cannot mask the computational overhead (see Table 6 tests)
+        plain = run_pair(
+            "persistent", "persistent", remote=True, calls=30, warmup=3,
+            write_cache=True,
+        ).per_call_ms
+        saving = run_pair(
+            "persistent", "persistent", remote=True, calls=30, warmup=3,
+            write_cache=True, save_state_each_call=True,
+        ).per_call_ms
+        assert saving == pytest.approx(plain + 1.34, abs=0.5)

@@ -1,0 +1,62 @@
+"""Experiment result containers and formatting."""
+
+import pytest
+
+from repro.bench import Cell, ExperimentTable
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable(
+        key="demo",
+        title="Demo Table",
+        columns=["local", "remote"],
+    )
+    t.add_row("case one", Cell(1.5, 1.4), Cell(2.5, None))
+    t.add_row("case two", Cell(10.0, 12.0), Cell(20.0, 21.0))
+    t.notes.append("a note")
+    return t
+
+
+class TestCell:
+    def test_format_with_paper(self):
+        assert Cell(1.234, 1.2).format(2) == "1.23 (paper 1.2)"
+
+    def test_format_without_paper(self):
+        assert Cell(1.234).format(1) == "1.2"
+
+    def test_precision(self):
+        assert Cell(0.59312, 0.593).format(3) == "0.593 (paper 0.593)"
+
+
+class TestExperimentTable:
+    def test_cell_lookup(self, table):
+        assert table.cell("case one", "local").measured == 1.5
+        assert table.cell("case two", "remote").paper == 21.0
+
+    def test_cell_lookup_missing_row(self, table):
+        with pytest.raises(KeyError):
+            table.cell("nope", "local")
+
+    def test_format_contains_everything(self, table):
+        text = table.format()
+        assert "Demo Table" in text
+        assert "case one" in text
+        assert "(paper 1.4)" in text
+        assert "note: a note" in text
+
+    def test_format_columns_aligned(self, table):
+        lines = table.format().splitlines()
+        header = lines[1]
+        assert header.startswith("case")
+        assert "local" in header and "remote" in header
+
+    def test_markdown_is_table(self, table):
+        md = table.markdown()
+        assert md.startswith("### Demo Table")
+        assert "| case one |" in md
+        separator_lines = [
+            line for line in md.splitlines() if line.startswith("|---")
+        ]
+        assert len(separator_lines) == 1
+        assert "*a note*" in md

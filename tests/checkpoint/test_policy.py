@@ -1,0 +1,25 @@
+"""Checkpoint-frequency guidance (the ~400-call rule)."""
+
+from repro.checkpoint import breakeven_interval
+from repro.sim import CostModel
+
+
+class TestBreakeven:
+    def test_paper_rule_of_thumb(self):
+        advice = breakeven_interval()
+        assert advice.breakeven_calls == 400  # 60ms / 0.15ms
+
+    def test_tracks_cost_model(self):
+        costs = CostModel().with_overrides(
+            state_record_restore=30.0, replay_per_call=0.3
+        )
+        assert breakeven_interval(costs).breakeven_calls == 100
+
+    def test_describe_mentions_interval(self):
+        assert "400" in breakeven_interval().describe()
+
+    def test_minimum_one(self):
+        costs = CostModel().with_overrides(
+            state_record_restore=0.01, replay_per_call=10.0
+        )
+        assert breakeven_interval(costs).breakeven_calls == 1

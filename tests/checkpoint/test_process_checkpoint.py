@@ -1,0 +1,99 @@
+"""Process checkpoints (Section 4.3)."""
+
+import pytest
+
+from repro.checkpoint import save_context_state, take_process_checkpoint
+from repro.log import (
+    BeginCheckpointRecord,
+    CheckpointContextTableRecord,
+    CheckpointLastCallRecord,
+    CheckpointRemoteTypeRecord,
+    EndCheckpointRecord,
+)
+from tests.conftest import Counter, deploy_pair
+
+
+def scan_types(process):
+    return [type(r).__name__ for __, r in process.log.scan()]
+
+
+class TestCheckpointStructure:
+    def test_begin_end_bracket(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        process.create_component(Counter)
+        begin, end = take_process_checkpoint(process)
+        process.log.force()
+        record = process.log.read_record(end)
+        assert isinstance(record, EndCheckpointRecord)
+        assert record.begin_lsn == begin
+        assert isinstance(
+            process.log.read_record(begin), BeginCheckpointRecord
+        )
+
+    def test_tables_dumped(self, runtime):
+        store_process, store, relay_process, relay = deploy_pair(runtime)
+        relay.put("a", 1)
+        take_process_checkpoint(store_process)
+        store_process.log.force()
+        names = scan_types(store_process)
+        assert "CheckpointContextTableRecord" in names
+        assert "CheckpointLastCallRecord" in names
+
+    def test_remote_types_dumped_at_client(self, runtime):
+        store_process, store, relay_process, relay = deploy_pair(runtime)
+        relay.put("a", 1)  # relay learned the store's type
+        take_process_checkpoint(relay_process)
+        relay_process.log.force()
+        assert "CheckpointRemoteTypeRecord" in scan_types(relay_process)
+
+    def test_large_tables_chunked(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        proxies = [process.create_component(Counter) for __ in range(40)]
+        take_process_checkpoint(process)
+        process.log.force()
+        chunks = [
+            r for __, r in process.log.scan()
+            if isinstance(r, CheckpointContextTableRecord)
+        ]
+        assert len(chunks) >= 3  # 40 entries / 16 per chunk
+        total = sum(len(c.entries) for c in chunks)
+        assert total == 40
+
+    def test_checkpoint_not_forced(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        process.create_component(Counter)
+        forces = process.log.stats.forces_performed
+        take_process_checkpoint(process)
+        assert process.log.stats.forces_performed == forces
+
+
+class TestWellKnownFile:
+    def test_published_only_after_flush(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        begin, __ = take_process_checkpoint(process)
+        assert process.log.read_well_known_lsn() is None
+        counter.increment()  # a later send flushes the checkpoint
+        assert process.log.read_well_known_lsn() == begin
+
+    def test_recovery_starts_at_checkpoint(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        for __ in range(20):
+            counter.increment()
+        save_context_state(process.find_context(1))
+        take_process_checkpoint(process)
+        counter.increment()  # flush; count=21
+        runtime.crash_process(process)
+        assert counter.increment() == 22
+
+    def test_newer_state_record_after_checkpoint_wins(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        counter.increment()
+        take_process_checkpoint(process)
+        counter.increment()  # flush ckpt; count=2
+        save_context_state(process.find_context(1))  # newer than ckpt
+        counter.increment()  # flush state record; count=3
+        runtime.crash_process(process)
+        assert counter.increment() == 4

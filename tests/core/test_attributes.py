@@ -1,0 +1,135 @@
+"""Component type attributes and read-only method declarations."""
+
+import pytest
+
+from repro import (
+    ComponentType,
+    PersistentComponent,
+    functional,
+    persistent,
+    read_only,
+    read_only_method,
+    subordinate,
+)
+from repro.core import declared_type, is_read_only_method, read_only_method_names
+from repro.errors import ConfigurationError
+
+
+class TestDeclarations:
+    def test_each_decorator_sets_type(self):
+        @persistent
+        class P(PersistentComponent):
+            pass
+
+        @subordinate
+        class S(PersistentComponent):
+            pass
+
+        @functional
+        class F(PersistentComponent):
+            pass
+
+        @read_only
+        class R(PersistentComponent):
+            pass
+
+        assert declared_type(P) is ComponentType.PERSISTENT
+        assert declared_type(S) is ComponentType.SUBORDINATE
+        assert declared_type(F) is ComponentType.FUNCTIONAL
+        assert declared_type(R) is ComponentType.READ_ONLY
+
+    def test_undecorated_is_external(self):
+        class Plain:
+            pass
+
+        assert declared_type(Plain) is ComponentType.EXTERNAL
+
+    def test_conflicting_declarations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            @functional
+            @persistent
+            class Confused(PersistentComponent):
+                pass
+
+    def test_redundant_declaration_allowed(self):
+        @persistent
+        @persistent
+        class Doubly(PersistentComponent):
+            pass
+
+        assert declared_type(Doubly) is ComponentType.PERSISTENT
+
+    def test_subclass_inherits_declaration(self):
+        @persistent
+        class Base(PersistentComponent):
+            pass
+
+        class Derived(Base):
+            pass
+
+        assert declared_type(Derived) is ComponentType.PERSISTENT
+
+    def test_subclass_can_redeclare(self):
+        @persistent
+        class Base(PersistentComponent):
+            pass
+
+        @read_only
+        class View(Base):
+            pass
+
+        assert declared_type(View) is ComponentType.READ_ONLY
+        assert declared_type(Base) is ComponentType.PERSISTENT
+
+
+class TestReadOnlyMethods:
+    def test_marking(self):
+        class C(PersistentComponent):
+            @read_only_method
+            def peek(self):
+                return 1
+
+            def poke(self):
+                return 2
+
+        assert is_read_only_method(C, "peek")
+        assert not is_read_only_method(C, "poke")
+        assert not is_read_only_method(C, "missing")
+
+    def test_names_enumeration(self):
+        class C(PersistentComponent):
+            @read_only_method
+            def a(self):
+                pass
+
+            @read_only_method
+            def b(self):
+                pass
+
+            def c(self):
+                pass
+
+        assert read_only_method_names(C) == frozenset({"a", "b"})
+
+
+class TestComponentTypePredicates:
+    def test_persistent_family(self):
+        assert ComponentType.PERSISTENT.is_persistent_family
+        assert ComponentType.SUBORDINATE.is_persistent_family
+        assert not ComponentType.READ_ONLY.is_persistent_family
+        assert not ComponentType.EXTERNAL.is_persistent_family
+
+    def test_stateless(self):
+        assert ComponentType.FUNCTIONAL.is_stateless
+        assert ComponentType.READ_ONLY.is_stateless
+        assert not ComponentType.PERSISTENT.is_stateless
+
+    def test_phoenix_membership(self):
+        assert ComponentType.PERSISTENT.is_phoenix
+        assert not ComponentType.EXTERNAL.is_phoenix
+        assert not ComponentType.MARSHAL_BY_REF.is_phoenix
+        assert not ComponentType.CONTEXT_BOUND.is_phoenix
+
+    def test_wire_roundtrip(self):
+        for kind in ComponentType:
+            assert ComponentType.from_wire(kind.wire_value) is kind

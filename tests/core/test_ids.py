@@ -1,0 +1,50 @@
+"""Call IDs and URIs."""
+
+import pytest
+
+from repro.common import GlobalCallId, component_uri, parse_uri
+from repro.errors import InvariantViolationError
+
+
+class TestGlobalCallId:
+    def test_caller_key_is_first_three_parts(self):
+        call_id = GlobalCallId("alpha", 2, 5, 9)
+        assert call_id.caller_key == ("alpha", 2, 5)
+
+    def test_next_increments_seq_only(self):
+        call_id = GlobalCallId("alpha", 2, 5, 9)
+        nxt = call_id.next()
+        assert nxt.seq == 10
+        assert nxt.caller_key == call_id.caller_key
+
+    def test_ordering_by_fields(self):
+        a = GlobalCallId("alpha", 1, 1, 1)
+        b = GlobalCallId("alpha", 1, 1, 2)
+        assert a < b
+
+    def test_hashable_and_equal(self):
+        a = GlobalCallId("alpha", 1, 1, 1)
+        b = GlobalCallId("alpha", 1, 1, 1)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_format(self):
+        assert str(GlobalCallId("m", 1, 2, 3)) == "m/1/2#3"
+
+
+class TestUris:
+    def test_roundtrip(self):
+        uri = component_uri("alpha", "proc-1", 42)
+        assert parse_uri(uri) == ("alpha", "proc-1", 42)
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            parse_uri("http://alpha/p/1")
+
+    def test_missing_parts_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            parse_uri("phoenix://alpha/p")
+
+    def test_non_integer_lid_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            parse_uri("phoenix://alpha/p/abc")

@@ -1,0 +1,160 @@
+"""Direct unit tests of the replay decision logic (check_replay)."""
+
+import pytest
+
+from repro import ApplicationError, PhoenixRuntime, persistent
+from repro.common import GlobalCallId, MethodCallMessage, ReplyMessage
+from repro.core.interceptor import ReplayOutcome
+from tests.conftest import Counter
+
+
+@pytest.fixture
+def replaying_context(runtime):
+    process = runtime.spawn_process("p", machine="alpha")
+    process.create_component(Counter)
+    context = process.find_context(1)
+    return context
+
+
+def call_message(context, seq: int) -> MethodCallMessage:
+    return MethodCallMessage(
+        target_uri="phoenix://alpha/other/1",
+        method="ping",
+        args=(seq,),
+        call_id=GlobalCallId(
+            context.process.machine.name,
+            context.process.logical_pid,
+            context.context_id,
+            seq,
+        ),
+    )
+
+
+def reply_for(message: MethodCallMessage, value) -> ReplyMessage:
+    return ReplyMessage(call_id=message.call_id, value=value)
+
+
+class TestCheckReplay:
+    def test_matching_head_is_suppressed(self, replaying_context):
+        context = replaying_context
+        message = call_message(context, 0)
+        context.enter_replay([reply_for(message, "logged")])
+        outcome, reply = context.interceptor.check_replay(message)
+        assert outcome is ReplayOutcome.SUPPRESSED
+        assert reply.value == "logged"
+        assert not context.replay_replies  # consumed
+        assert context.replaying  # still replaying
+
+    def test_head_ahead_means_execute_silently(self, replaying_context):
+        context = replaying_context
+        missing = call_message(context, 0)  # its reply was never logged
+        later = call_message(context, 1)
+        context.enter_replay([reply_for(later, "later")])
+        outcome, reply = context.interceptor.check_replay(missing)
+        assert outcome is ReplayOutcome.EXECUTE_SILENT
+        assert reply is None
+        assert len(context.replay_replies) == 1  # untouched
+        assert context.replaying
+
+    def test_exhausted_buffer_goes_live(self, replaying_context):
+        context = replaying_context
+        context.enter_replay([])
+        outcome, reply = context.interceptor.check_replay(
+            call_message(context, 0)
+        )
+        assert outcome is ReplayOutcome.GO_LIVE
+        assert not context.replaying  # left replay mode
+
+    def test_stale_head_is_an_invariant_violation(self, replaying_context):
+        from repro import InvariantViolationError
+
+        context = replaying_context
+        old = call_message(context, 0)
+        new = call_message(context, 5)
+        context.enter_replay([reply_for(old, "stale")])
+        with pytest.raises(InvariantViolationError, match="deterministic"):
+            context.interceptor.check_replay(new)
+
+    def test_suppressed_exception_reply_reraises_via_reply_value(
+        self, replaying_context
+    ):
+        context = replaying_context
+        message = call_message(context, 0)
+        logged = ReplyMessage(
+            call_id=message.call_id,
+            is_exception=True,
+            exception_message="ValueError: replayed",
+        )
+        context.enter_replay([logged])
+        outcome, reply = context.interceptor.check_replay(message)
+        assert outcome is ReplayOutcome.SUPPRESSED
+        with pytest.raises(ApplicationError, match="replayed"):
+            context.interceptor.reply_value(reply)
+
+
+class TestNestedSubordinateReplay:
+    def test_subordinate_creating_subordinate_replays(self, runtime):
+        from repro import PersistentComponent, subordinate
+
+        @subordinate
+        class Leaf(PersistentComponent):
+            def __init__(self):
+                self.items = []
+
+            def add(self, item):
+                self.items.append(item)
+                return len(self.items)
+
+        @subordinate
+        class Branch(PersistentComponent):
+            def __init__(self):
+                self.leaf = self.new_subordinate(Leaf)
+
+            def add(self, item):
+                return self.leaf.add(item)
+
+        @persistent
+        class Root(PersistentComponent):
+            def __init__(self):
+                self.branch = self.new_subordinate(Branch)
+
+            def add(self, item):
+                return self.branch.add(item)
+
+        process = runtime.spawn_process("p", machine="alpha")
+        root = process.create_component(Root)
+        root.add("a")
+        root.add("b")
+        runtime.crash_process(process)
+        assert root.add("c") == 3
+        # three components share the context; all were rebuilt
+        assert len(process.find_context(1).subordinates) == 2
+
+
+class TestReadOnlyClientOfReadOnlyMethod:
+    def test_nothing_logged_anywhere(self, runtime):
+        from repro import PersistentComponent, read_only
+        from tests.conftest import KvStore
+
+        @read_only
+        class Peeker(PersistentComponent):
+            def __init__(self, store):
+                self.store = store
+
+            def peek(self, key):
+                return self.store.get(key)  # a read-only method
+
+        store_process = runtime.spawn_process("sp", machine="beta")
+        store = store_process.create_component(KvStore)
+        store.put("k", "v")
+        ro_process = runtime.spawn_process("rp", machine="alpha")
+        peeker = ro_process.create_component(Peeker, args=(store,))
+        appends = (
+            store_process.log.stats.appends,
+            ro_process.log.stats.appends,
+        )
+        assert peeker.peek("k") == "v"
+        assert (
+            store_process.log.stats.appends,
+            ro_process.log.stats.appends,
+        ) == appends

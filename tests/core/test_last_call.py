@@ -1,0 +1,100 @@
+"""Last-call table: condition-3 duplicate detection."""
+
+import pytest
+
+from repro.common import GlobalCallId, ReplyMessage
+from repro.core import LastCallTable
+from repro.errors import InvariantViolationError
+
+A1 = GlobalCallId("alpha", 1, 1, 1)
+A2 = GlobalCallId("alpha", 1, 1, 2)
+B1 = GlobalCallId("beta", 2, 9, 1)
+REPLY = ReplyMessage(call_id=A1, value="ok")
+
+
+@pytest.fixture
+def table():
+    return LastCallTable()
+
+
+class TestCheckIncoming:
+    def test_new_call_not_duplicate(self, table):
+        assert table.check_incoming(A1) is None
+
+    def test_same_id_is_duplicate(self, table):
+        table.begin_call(A1, context_id=1)
+        table.record_reply(A1, REPLY)
+        entry = table.check_incoming(A1)
+        assert entry is not None
+        assert entry.reply == REPLY
+
+    def test_newer_call_replaces(self, table):
+        table.begin_call(A1, context_id=1)
+        table.record_reply(A1, REPLY)
+        assert table.check_incoming(A2) is None
+        table.begin_call(A2, context_id=1)
+        assert table.lookup(A1.caller_key).call_id == A2
+
+    def test_older_call_is_invariant_violation(self, table):
+        table.begin_call(A2, context_id=1)
+        table.record_reply(A2, ReplyMessage(call_id=A2))
+        with pytest.raises(InvariantViolationError):
+            table.check_incoming(A1)
+
+    def test_distinct_clients_independent(self, table):
+        table.begin_call(A1, context_id=1)
+        table.record_reply(A1, REPLY)
+        assert table.check_incoming(B1) is None
+        assert len(table) == 1
+
+
+class TestReplies:
+    def test_record_reply_clears_in_progress(self, table):
+        entry = table.begin_call(A1, context_id=1)
+        assert entry.in_progress
+        table.record_reply(A1, REPLY, reply_lsn=77)
+        assert not entry.in_progress
+        assert entry.reply_lsn == 77
+
+    def test_record_reply_without_begin(self, table):
+        # recovery records replies for calls whose begin this
+        # incarnation never saw
+        entry = table.record_reply(A1, REPLY)
+        assert entry.reply == REPLY
+        assert not entry.in_progress
+
+
+class TestSeeding:
+    def test_seed_creates_entry(self, table):
+        entry = table.seed(A1.caller_key, A1, context_id=3, reply_lsn=50)
+        assert entry.reply_lsn == 50
+        assert not entry.in_progress
+
+    def test_seed_keeps_newest(self, table):
+        table.seed(A2.caller_key, A2, context_id=3)
+        entry = table.seed(A1.caller_key, A1, context_id=3, reply_lsn=50)
+        assert entry.call_id == A2  # older seed ignored
+
+    def test_seed_same_id_merges_lsn(self, table):
+        table.seed(A1.caller_key, A1, context_id=3)
+        entry = table.seed(A1.caller_key, A1, context_id=3, reply_lsn=9)
+        assert entry.reply_lsn == 9
+
+    def test_seed_without_reply_is_in_progress(self, table):
+        entry = table.seed(A1.caller_key, A1, context_id=3)
+        assert entry.in_progress
+
+
+class TestContextIndex:
+    def test_entries_for_context(self, table):
+        table.begin_call(A1, context_id=1)
+        table.begin_call(B1, context_id=2)
+        assert [e.call_id for e in table.entries_for_context(1)] == [A1]
+        assert [e.call_id for e in table.entries_for_context(2)] == [B1]
+        assert table.entries_for_context(3) == []
+
+    def test_all_entries(self, table):
+        table.begin_call(A1, context_id=1)
+        table.begin_call(B1, context_id=2)
+        keys = {key for key, _ in table.all_entries()}
+        assert keys == {A1.caller_key, B1.caller_key}

@@ -1,0 +1,268 @@
+"""Force/write counts per logging algorithm — the heart of Section 3.
+
+Each test deploys a (client kind, server kind) pair, runs warmed-up
+calls, and asserts exactly how many log records and forces one call
+costs under the active algorithm.  These counts are what produce every
+elapsed-time result in Tables 4, 5 and 8.
+"""
+
+import pytest
+
+from repro import PhoenixRuntime, RuntimeConfig
+from repro.bench.harness import (
+    FunctionalPingServer,
+    PersistentBatchClient,
+    PingServer,
+    ReadOnlyBatchClient,
+    ReadOnlyPingServer,
+)
+
+
+def deploy(client_kind, server_kind, optimized=True, config=None):
+    """Returns (runtime, call, client_process, server_process)."""
+    if config is None:
+        config = (
+            RuntimeConfig.optimized() if optimized
+            else RuntimeConfig.baseline()
+        )
+    runtime = PhoenixRuntime(config=config)
+    runtime.external_client_machine = "alpha"
+    server_process = runtime.spawn_process("srv", machine="beta")
+    server_cls = {
+        "persistent": PingServer,
+        "read_only": ReadOnlyPingServer,
+        "functional": FunctionalPingServer,
+    }[server_kind]
+    server = server_process.create_component(server_cls)
+
+    if client_kind == "external":
+        def call(i, method="ping"):
+            getattr(server, method)(i)
+        client_process = None
+    else:
+        client_cls = {
+            "persistent": PersistentBatchClient,
+            "read_only": ReadOnlyBatchClient,
+        }[client_kind]
+        client_process = runtime.spawn_process("cli", machine="alpha")
+        client = client_process.create_component(client_cls, args=(server,))
+
+        def call(i, method="ping"):
+            client.batch(1, method)
+
+    return runtime, call, client_process, server_process
+
+
+def costs_per_call(
+    client_kind, server_kind, optimized=True, method="ping", warmup=3
+):
+    """(client appends, client forces, server appends, server forces)
+    for one steady-state call."""
+    runtime, call, client_process, server_process = deploy(
+        client_kind, server_kind, optimized
+    )
+    for i in range(warmup):
+        call(i, method)
+    def snap():
+        client = (
+            (client_process.log.stats.appends,
+             client_process.log.stats.forces_performed)
+            if client_process
+            else (0, 0)
+        )
+        server = (
+            server_process.log.stats.appends,
+            server_process.log.stats.forces_performed,
+        )
+        return client + server
+    before = snap()
+    call(99, method)
+    after = snap()
+    return tuple(a - b for a, b in zip(after, before))
+
+
+class TestAlgorithm1Baseline:
+    def test_external_to_persistent_logs_and_forces_both_messages(self):
+        __, __, server_appends, server_forces = costs_per_call(
+            "external", "persistent", optimized=False
+        )
+        assert (server_appends, server_forces) == (2, 2)
+
+    def test_persistent_to_persistent_four_forces(self):
+        counts = costs_per_call("persistent", "persistent", optimized=False)
+        client_appends, client_forces, server_appends, server_forces = counts
+        # client logs+forces messages 3 and 4 (plus its own ext 1 and 2:
+        # the batch wrapper adds 2 appends/forces on the client)
+        assert server_appends == 2 and server_forces == 2
+        assert client_forces == 4  # msg3, msg4, plus wrapper msg1, msg2
+        assert client_appends == 4
+
+    def test_baseline_ignores_read_only_methods(self):
+        counts = costs_per_call(
+            "persistent", "persistent", optimized=False, method="ping_ro"
+        )
+        assert counts[3] == 2  # server still forces twice
+
+
+class TestAlgorithm2PersistentClient:
+    def test_server_appends_msg1_without_its_own_force(self):
+        counts = costs_per_call("persistent", "persistent")
+        client_appends, client_forces, server_appends, server_forces = counts
+        # server: msg1 append + one force at the reply send
+        assert (server_appends, server_forces) == (1, 1)
+        # client: msg4 append (no force) + msg3 force, plus the external
+        # wrapper's Algorithm 3 msg1/msg2 around the batch call.  The
+        # msg3 force performs no disk write: the wrapper's msg1 force
+        # just emptied the buffer — Algorithm 2's force-combining.
+        assert client_appends == 3  # wrapper msg1 + wrapper short msg2 + msg4
+        assert client_forces == 2  # wrapper msg1 force + wrapper msg2 force
+
+    def test_steady_state_is_two_media_writes(self):
+        runtime, call, client_process, server_process = deploy(
+            "persistent", "persistent"
+        )
+        for i in range(3):
+            call(i)
+        before = sum(
+            machine.disk.stats.writes
+            for machine in runtime.cluster.machines()
+        )
+        call(99)
+        after = sum(
+            machine.disk.stats.writes
+            for machine in runtime.cluster.machines()
+        )
+        # wrapper msg1 force + wrapper msg2 force on the client disk
+        # (the inner msg3 force is combined into them) plus the reply
+        # force on the server disk
+        assert after - before == 3
+
+
+class TestAlgorithm3ExternalClient:
+    def test_long_then_short_record_both_forced(self):
+        __, __, server_appends, server_forces = costs_per_call(
+            "external", "persistent"
+        )
+        assert (server_appends, server_forces) == (2, 2)
+
+    def test_short_record_is_actually_short(self):
+        runtime, call, __, server_process = deploy("external", "persistent")
+        call(0)
+        from repro.common import MessageKind
+        from repro.log import MessageRecord
+
+        records = [r for __, r in server_process.log.scan()]
+        replies = [
+            r for r in records
+            if isinstance(r, MessageRecord)
+            and r.kind is MessageKind.REPLY_TO_INCOMING
+        ]
+        assert replies and all(r.short for r in replies)
+        assert all(r.message is None for r in replies)
+
+
+class TestAlgorithm4Functional:
+    def test_nothing_logged_anywhere(self):
+        counts = costs_per_call("persistent", "functional")
+        client_appends, client_forces, server_appends, server_forces = counts
+        assert (server_appends, server_forces) == (0, 0)
+        # only the external wrapper's own Algorithm 3 records at the client
+        assert client_appends == 2
+        assert client_forces == 2
+
+    def test_external_to_functional_logs_nothing(self):
+        counts = costs_per_call("external", "functional")
+        assert counts == (0, 0, 0, 0)
+
+
+class TestAlgorithm5ReadOnly:
+    def test_read_only_server_logs_nothing(self):
+        counts = costs_per_call("persistent", "read_only")
+        __, __, server_appends, server_forces = counts
+        assert (server_appends, server_forces) == (0, 0)
+
+    def test_persistent_caller_logs_reply_without_force(self):
+        counts = costs_per_call("persistent", "read_only")
+        client_appends, client_forces, __, __ = counts
+        # wrapper msg1 + wrapper msg2(short) + msg4 = 3 appends;
+        # only the wrapper's 2 forces — no force for the RO call itself
+        assert client_appends == 3
+        assert client_forces == 2
+
+    def test_read_only_method_treated_like_read_only_component(self):
+        counts = costs_per_call(
+            "persistent", "persistent", method="ping_ro"
+        )
+        client_appends, client_forces, server_appends, server_forces = counts
+        assert (server_appends, server_forces) == (0, 0)
+        assert client_forces == 2  # wrapper only
+
+    def test_read_only_method_optimization_can_be_disabled(self):
+        config = RuntimeConfig.optimized(read_only_method_optimization=False)
+        runtime, call, client_process, server_process = deploy(
+            "persistent", "persistent", config=config
+        )
+        for i in range(3):
+            call(i, "ping_ro")
+        before = server_process.log.stats.forces_performed
+        call(9, "ping_ro")
+        assert server_process.log.stats.forces_performed == before + 1
+
+    def test_read_only_client_logs_nothing_at_either_side(self):
+        counts = costs_per_call("read_only", "persistent")
+        client_appends, client_forces, server_appends, server_forces = counts
+        assert (server_appends, server_forces) == (0, 0)
+        assert client_appends == 0
+        assert client_forces == 0
+
+
+class TestMulticall:
+    def test_fanout_forces_once_with_multicall(self):
+        from repro.bench.experiments import FanoutClient
+
+        for enabled, expected in ((False, 4 + 1), (True, 1 + 1)):
+            config = RuntimeConfig.optimized(
+                multicall_optimization=enabled
+            )
+            runtime = PhoenixRuntime(config=config)
+            runtime.external_client_machine = "alpha"
+            server_process = runtime.spawn_process("srv", machine="beta")
+            servers = [
+                server_process.create_component(PingServer) for _ in range(4)
+            ]
+            client_process = runtime.spawn_process("cli", machine="beta")
+            client = client_process.create_component(
+                FanoutClient, args=(servers,)
+            )
+            client.grab(0)  # learn types / warm up
+            before = client_process.log.stats.forces_performed
+            client.grab(1)
+            forces = client_process.log.stats.forces_performed - before
+            assert forces == expected, (enabled, forces)
+
+    def test_repeat_server_forces_again(self):
+        from repro import PersistentComponent, persistent
+
+        @persistent
+        class DoubleCaller(PersistentComponent):
+            def __init__(self, target):
+                self.target = target
+
+            def twice(self):
+                self.target.ping(1)
+                self.target.ping(2)
+                return True
+
+        config = RuntimeConfig.optimized(multicall_optimization=True)
+        runtime = PhoenixRuntime(config=config)
+        runtime.external_client_machine = "alpha"
+        server_process = runtime.spawn_process("srv", machine="beta")
+        server = server_process.create_component(PingServer)
+        client_process = runtime.spawn_process("cli", machine="beta")
+        client = client_process.create_component(DoubleCaller, args=(server,))
+        client.twice()
+        before = client_process.log.stats.forces_performed
+        client.twice()
+        # first call forces (first outgoing), second call to the SAME
+        # server forces again, plus the reply force
+        assert client_process.log.stats.forces_performed - before == 3

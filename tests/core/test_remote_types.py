@@ -1,0 +1,64 @@
+"""Remote component type table (Section 3.4)."""
+
+import pytest
+
+from repro.common.types import ComponentType
+from repro.core import RemoteComponentTypeTable
+
+URI = "phoenix://beta/p/1"
+
+
+@pytest.fixture
+def table():
+    return RemoteComponentTypeTable()
+
+
+class TestLearning:
+    def test_unknown_initially(self, table):
+        assert table.known_type(URI) is None
+        assert not table.knows(URI)
+
+    def test_learn_type(self, table):
+        table.learn(URI, ComponentType.FUNCTIONAL)
+        assert table.known_type(URI) is ComponentType.FUNCTIONAL
+        assert table.knows(URI)
+
+    def test_learn_updates_type(self, table):
+        table.learn(URI, ComponentType.PERSISTENT)
+        table.learn(URI, ComponentType.READ_ONLY)
+        assert table.known_type(URI) is ComponentType.READ_ONLY
+
+    def test_learn_method_read_only(self, table):
+        table.learn(URI, ComponentType.PERSISTENT, "peek", True)
+        assert table.method_read_only(URI, "peek") is True
+        assert table.method_read_only(URI, "poke") is None
+
+    def test_learn_method_not_read_only(self, table):
+        table.learn(URI, ComponentType.PERSISTENT, "poke", False)
+        assert table.method_read_only(URI, "poke") is False
+
+    def test_method_knowledge_updates(self, table):
+        table.learn(URI, ComponentType.PERSISTENT, "m", True)
+        table.learn(URI, ComponentType.PERSISTENT, "m", False)
+        assert table.method_read_only(URI, "m") is False
+
+    def test_unknown_component_method_unknown(self, table):
+        assert table.method_read_only(URI, "m") is None
+
+
+class TestSeeding:
+    def test_seed_installs(self, table):
+        table.seed(URI, ComponentType.READ_ONLY)
+        assert table.known_type(URI) is ComponentType.READ_ONLY
+
+    def test_seed_does_not_override_learned(self, table):
+        table.learn(URI, ComponentType.FUNCTIONAL)
+        table.seed(URI, ComponentType.PERSISTENT)
+        assert table.known_type(URI) is ComponentType.FUNCTIONAL
+
+    def test_snapshot_sorted(self, table):
+        table.learn("phoenix://b/p/2", ComponentType.PERSISTENT)
+        table.learn("phoenix://a/p/1", ComponentType.FUNCTIONAL)
+        snapshot = table.snapshot()
+        assert snapshot == sorted(snapshot)
+        assert len(table) == 2

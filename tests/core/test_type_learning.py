@@ -1,0 +1,166 @@
+"""Remote component type learning (Section 3.4) through the pipeline."""
+
+import pytest
+
+from repro import PhoenixRuntime, RuntimeConfig
+from repro.common.types import ComponentType
+from tests.conftest import Doubler, KvStore
+
+
+def deploy(config=None):
+    runtime = PhoenixRuntime(config=config or RuntimeConfig.optimized())
+    server_process = runtime.spawn_process("srv", machine="beta")
+    doubler = server_process.create_component(Doubler)
+    store = server_process.create_component(KvStore)
+    client_process = runtime.spawn_process("cli", machine="alpha")
+
+    from repro import PersistentComponent, persistent
+
+    @persistent
+    class Caller(PersistentComponent):
+        def __init__(self, doubler, store):
+            self.doubler = doubler
+            self.store = store
+
+        def use_doubler(self, x):
+            return self.doubler.double(x)
+
+        def use_store(self, k, v):
+            return self.store.put(k, v)
+
+        def read_store(self, k):
+            return self.store.get(k)
+
+    caller = client_process.create_component(Caller, args=(doubler, store))
+    return runtime, client_process, server_process, caller, doubler, store
+
+
+class TestLearning:
+    def test_server_type_unknown_before_first_call(self):
+        __, client_process, __, __, doubler, __ = deploy()
+        assert client_process.remote_types.known_type(doubler.uri) is None
+
+    def test_server_type_learned_from_first_reply(self):
+        __, client_process, __, caller, doubler, __ = deploy()
+        caller.use_doubler(1)
+        assert (
+            client_process.remote_types.known_type(doubler.uri)
+            is ComponentType.FUNCTIONAL
+        )
+
+    def test_first_call_to_unknown_server_is_conservative(self):
+        """Until the type is known, the most conservative logging is
+        used: the first call to a functional server still forces."""
+        __, client_process, __, caller, __, __ = deploy()
+        forces_before = client_process.log.stats.forces_performed
+
+        caller.use_doubler(1)  # unknown server: conservative force
+        after_first = client_process.log.stats.forces_performed
+        caller.use_doubler(2)  # known functional: no force
+        after_second = client_process.log.stats.forces_performed
+
+        # each call pays 2 wrapper forces for the external driver; the
+        # first also pays the conservative msg3 force attempt (combined
+        # into the wrapper's force, so compare appended records instead)
+        assert after_second - after_first <= after_first - forces_before
+
+    def test_read_only_methods_learned_per_method(self):
+        __, client_process, __, caller, __, store = deploy()
+        caller.use_store("k", 1)
+        assert client_process.remote_types.method_read_only(
+            store.uri, "put"
+        ) is False
+        caller.read_store("k")
+        assert client_process.remote_types.method_read_only(
+            store.uri, "get"
+        ) is True
+
+    def test_learned_ro_method_skips_force(self):
+        __, client_process, __, caller, __, store = deploy()
+        caller.read_store("k")  # learn
+        appends_before = client_process.log.stats.appends
+        caller.read_store("k")
+        # wrapper msg1 + wrapper msg2-short + msg4 (ro replies are
+        # logged, unforced) = 3 appends; nothing more
+        assert client_process.log.stats.appends - appends_before == 3
+
+    def test_type_table_is_volatile(self):
+        runtime, client_process, __, caller, doubler, __ = deploy()
+        caller.use_doubler(1)
+        runtime.crash_process(client_process)
+        caller.use_doubler(2)  # recovery + relearn
+        assert (
+            client_process.remote_types.known_type(doubler.uri)
+            is ComponentType.FUNCTIONAL
+        )
+
+    def test_type_table_seeded_from_checkpoint(self):
+        from repro import CheckpointConfig
+
+        config = RuntimeConfig.optimized(
+            checkpoint=CheckpointConfig(
+                context_state_every_n_calls=2,
+                process_checkpoint_every_n_saves=1,
+            )
+        )
+        runtime, client_process, __, caller, doubler, __ = deploy(config)
+        for i in range(6):
+            caller.use_doubler(i)
+        assert client_process.log.read_well_known_lsn() is not None
+        runtime.crash_process(client_process)
+        caller.use_doubler(9)
+        assert (
+            client_process.remote_types.known_type(doubler.uri)
+            is ComponentType.FUNCTIONAL
+        )
+
+
+class TestAttachments:
+    def test_baseline_sends_no_attachments(self):
+        from repro.common.messages import MethodCallMessage
+        from repro.log import MessageRecord, summarize_log
+
+        runtime = PhoenixRuntime(config=RuntimeConfig.baseline())
+        server_process = runtime.spawn_process("srv", machine="beta")
+        store = server_process.create_component(KvStore)
+        store.put("k", 1)
+        for __, record in server_process.log.scan():
+            if isinstance(record, MessageRecord) and isinstance(
+                record.message, MethodCallMessage
+            ):
+                assert record.message.sender is None
+
+    def test_optimized_requests_carry_sender_info(self):
+        from repro.common.messages import MethodCallMessage
+        from repro.log import MessageRecord
+
+        __, __, server_process, caller, __, store = deploy()
+        caller.use_store("k", 1)
+        senders = [
+            record.message.sender
+            for __, record in server_process.log.scan()
+            if isinstance(record, MessageRecord)
+            and isinstance(record.message, MethodCallMessage)
+            and record.message.sender is not None
+        ]
+        assert senders
+        assert all(
+            info.component_type is ComponentType.PERSISTENT
+            for info in senders
+        )
+
+    def test_knows_receiver_flag_set_after_learning(self):
+        from repro.common.messages import MethodCallMessage
+        from repro.log import MessageRecord
+
+        __, __, server_process, caller, __, store = deploy()
+        caller.use_store("k1", 1)  # learns the store's type
+        caller.use_store("k2", 2)  # now flags knows_receiver
+        flags = [
+            record.message.sender.knows_receiver
+            for __, record in server_process.log.scan()
+            if isinstance(record, MessageRecord)
+            and isinstance(record.message, MethodCallMessage)
+            and record.message.sender is not None
+        ]
+        assert flags == [False, True]

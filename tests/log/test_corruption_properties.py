@@ -1,0 +1,91 @@
+"""Adversarial corruption properties of the framed log.
+
+A flipped byte anywhere in a framed record must never silently decode to
+different data: either the frame fails its integrity checks or (for
+flips that cancel out, which CRC32 makes astronomically unlikely at this
+scale) the payload is unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogCorruptionError
+from repro.log import frame, read_frame
+
+
+class TestCorruptionDetection:
+    @given(
+        payload=st.binary(min_size=1, max_size=200),
+        flip_position=st.integers(0, 10_000),
+        flip_mask=st.integers(1, 255),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_bit_flips_never_silently_alter_data(
+        self, payload, flip_position, flip_mask
+    ):
+        data = bytearray(frame(payload))
+        data[flip_position % len(data)] ^= flip_mask
+        try:
+            result = read_frame(bytes(data), 0)
+        except LogCorruptionError:
+            return  # detected — the required outcome
+        if result is not None:
+            decoded, __ = result
+            assert decoded == payload  # only a no-op flip may pass
+
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=1, max_size=60), min_size=1, max_size=6
+        ),
+        cut=st.integers(1, 50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_truncation_loses_only_a_suffix(self, payloads, cut):
+        """Chopping bytes off the end (a torn write) must yield a clean
+        prefix of the original record sequence, never reordered or
+        altered records."""
+        data = b"".join(frame(p) for p in payloads)
+        torn = data[: max(0, len(data) - cut)]
+        recovered = []
+        offset = 0
+        while True:
+            try:
+                result = read_frame(torn, offset)
+            except LogCorruptionError:
+                break
+            if result is None:
+                break
+            payload, offset = result
+            recovered.append(payload)
+        assert recovered == payloads[: len(recovered)]
+
+    @given(payload=st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_frame_roundtrip_property(self, payload):
+        data = frame(payload)
+        decoded, next_offset = read_frame(data, 0)
+        assert decoded == payload
+        assert next_offset == len(data)
+
+
+class TestRandomBytesNeverLeakRawErrors:
+    @given(noise=st.binary(min_size=1, max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_value_fails_cleanly(self, noise):
+        from repro.errors import SerializationError
+        from repro.log import decode_value
+
+        try:
+            decode_value(noise)
+        except (LogCorruptionError, SerializationError):
+            pass  # the only acceptable failures
+
+    @given(noise=st.binary(min_size=1, max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_record_fails_cleanly(self, noise):
+        from repro.log import decode_record
+
+        try:
+            decode_record(noise)
+        except LogCorruptionError:
+            pass

@@ -1,0 +1,101 @@
+"""Log inspection tooling — and, through it, assertions about exactly
+what each algorithm writes to the log."""
+
+import pytest
+
+from repro import CheckpointConfig, PhoenixRuntime, RuntimeConfig
+from repro.log.inspect import format_summary, summarize_log
+from tests.conftest import Counter, KvStore, Relay
+
+
+def optimized_world():
+    runtime = PhoenixRuntime()
+    store_process = runtime.spawn_process("sp", machine="beta")
+    store = store_process.create_component(KvStore)
+    relay_process = runtime.spawn_process("rp", machine="alpha")
+    relay = relay_process.create_component(Relay, args=(store,))
+    return runtime, store_process, relay_process, relay
+
+
+class TestSummaries:
+    def test_empty_log(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        summary = summarize_log(process.log)
+        assert summary.record_count == 0
+        assert summary.contexts == {}
+
+    def test_creation_records_counted(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        process.create_component(Counter)
+        process.create_component(Counter)
+        summary = summarize_log(process.log)
+        assert summary.records_by_kind["CreationRecord"] == 2
+        assert summary.context(1).creations == 1
+
+    def test_optimized_server_log_shape(self):
+        """Algorithm 2 at the server: one INCOMING_CALL record per call,
+        no reply records, no outgoing records."""
+        __, store_process, __, relay = optimized_world()
+        for i in range(5):
+            relay.put(f"k{i}", i)
+        summary = summarize_log(store_process.log)
+        assert summary.messages_by_kind == {"INCOMING_CALL": 5}
+        assert summary.short_records == 0
+
+    def test_optimized_client_log_shape(self):
+        """Algorithm 2 at the client: REPLY_FROM_OUTGOING records only
+        (message 3 is never written)."""
+        __, __, relay_process, relay = optimized_world()
+        for i in range(4):
+            relay.put(f"k{i}", i)
+        summary = summarize_log(relay_process.log)
+        # the external wrapper around each relay.put writes INCOMING +
+        # short REPLY_TO_INCOMING; the inner call writes one msg4
+        assert summary.messages_by_kind["REPLY_FROM_OUTGOING"] == 4
+        assert "OUTGOING_CALL" not in summary.messages_by_kind
+        assert summary.short_records == 4  # Algorithm 3 short replies
+
+    def test_baseline_logs_all_four_kinds(self):
+        runtime = PhoenixRuntime(config=RuntimeConfig.baseline())
+        store_process = runtime.spawn_process("sp", machine="beta")
+        store = store_process.create_component(KvStore)
+        relay_process = runtime.spawn_process("rp", machine="alpha")
+        relay = relay_process.create_component(Relay, args=(store,))
+        for i in range(3):
+            relay.put(f"k{i}", i)
+        summary = summarize_log(relay_process.log)
+        for kind in (
+            "INCOMING_CALL",
+            "REPLY_TO_INCOMING",
+            "OUTGOING_CALL",
+            "REPLY_FROM_OUTGOING",
+        ):
+            assert summary.messages_by_kind[kind] == 3, kind
+        assert summary.short_records == 0  # baseline: full records only
+
+    def test_checkpoint_chain_detected(self):
+        config = RuntimeConfig.optimized(
+            checkpoint=CheckpointConfig(
+                context_state_every_n_calls=3,
+                process_checkpoint_every_n_saves=1,
+            )
+        )
+        runtime = PhoenixRuntime(config=config)
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        for __ in range(7):
+            counter.increment()
+        summary = summarize_log(process.log)
+        assert summary.checkpoints
+        assert all(chain.complete for chain in summary.checkpoints)
+        assert summary.checkpoints[0].context_entries >= 1
+        assert summary.published_checkpoint_lsn is not None
+        assert summary.context(1).state_records >= 2
+
+    def test_format_is_readable(self):
+        __, store_process, __, relay = optimized_world()
+        relay.put("k", 1)
+        text = format_summary(summarize_log(store_process.log))
+        assert "INCOMING_CALL" in text
+        assert "contexts:" in text
+        assert "sp" in text or "beta-sp" in text

@@ -1,0 +1,180 @@
+"""Log record encode/decode round trips."""
+
+import pytest
+
+from repro.common import (
+    GlobalCallId,
+    MessageKind,
+    MethodCallMessage,
+    ReplyMessage,
+)
+from repro.common.types import ComponentType
+from repro.log import (
+    BeginCheckpointRecord,
+    CheckpointContextEntry,
+    CheckpointContextTableRecord,
+    CheckpointLastCallRecord,
+    CheckpointRemoteTypeRecord,
+    ComponentStateSnapshot,
+    ContextStateRecord,
+    CreationRecord,
+    EndCheckpointRecord,
+    LastCallEntrySnapshot,
+    LastCallReplyRecord,
+    MessageRecord,
+    decode_record,
+    encode_record,
+)
+
+CALL_ID = GlobalCallId("alpha", 1, 2, 3)
+CALL = MethodCallMessage(
+    target_uri="phoenix://beta/p/1", method="put", args=("k", 1),
+    call_id=CALL_ID,
+)
+REPLY = ReplyMessage(call_id=CALL_ID, value=42)
+
+
+def roundtrip(record):
+    return decode_record(encode_record(record))
+
+
+class TestMessageRecords:
+    @pytest.mark.parametrize("kind", list(MessageKind))
+    def test_kinds_roundtrip(self, kind):
+        message = CALL if kind.value in (1, 3) else REPLY
+        record = MessageRecord(context_id=7, kind=kind, message=message)
+        assert roundtrip(record) == record
+
+    def test_short_record_carries_no_content(self):
+        record = MessageRecord(
+            context_id=7,
+            kind=MessageKind.REPLY_TO_INCOMING,
+            message=None,
+            short=True,
+        )
+        decoded = roundtrip(record)
+        assert decoded.short
+        assert decoded.message is None
+
+    def test_short_record_is_smaller_than_long(self):
+        long_record = MessageRecord(
+            context_id=7, kind=MessageKind.REPLY_TO_INCOMING, message=REPLY
+        )
+        short_record = MessageRecord(
+            context_id=7,
+            kind=MessageKind.REPLY_TO_INCOMING,
+            message=None,
+            short=True,
+        )
+        assert len(encode_record(short_record)) < len(
+            encode_record(long_record)
+        )
+
+
+class TestCreationRecords:
+    def test_roundtrip(self):
+        record = CreationRecord(
+            context_id=4,
+            component_lid=4,
+            class_name="app.Store",
+            args=({"inventory": [1, 2]},),
+            uri="phoenix://beta/p/4",
+            component_type=ComponentType.PERSISTENT,
+            registered_name="app.Store",
+        )
+        assert roundtrip(record) == record
+
+
+class TestStateRecords:
+    def test_roundtrip_with_subordinates_and_last_calls(self):
+        record = ContextStateRecord(
+            context_id=4,
+            uri="phoenix://beta/p/4",
+            incoming_calls_handled=17,
+            snapshots=(
+                ComponentStateSnapshot(
+                    component_lid=4,
+                    class_name="app.Seller",
+                    component_type=ComponentType.PERSISTENT,
+                    fields={"n": 3, "names": ["a"]},
+                    next_outgoing_seq=9,
+                ),
+                ComponentStateSnapshot(
+                    component_lid=400001,
+                    class_name="app.Basket",
+                    component_type=ComponentType.SUBORDINATE,
+                    fields={"items": []},
+                    next_outgoing_seq=0,
+                ),
+            ),
+            last_calls=(
+                LastCallEntrySnapshot(
+                    caller_key=("alpha", 1, 2),
+                    call_id=CALL_ID,
+                    reply_lsn=123,
+                ),
+            ),
+        )
+        assert roundtrip(record) == record
+
+
+class TestLastCallReplyRecords:
+    def test_roundtrip(self):
+        record = LastCallReplyRecord(
+            context_id=4,
+            caller_key=CALL_ID.caller_key,
+            call_id=CALL_ID,
+            reply=REPLY,
+        )
+        assert roundtrip(record) == record
+
+
+class TestCheckpointRecords:
+    def test_begin_end(self):
+        begin = BeginCheckpointRecord(context_id=-1)
+        assert roundtrip(begin) == begin
+        end = EndCheckpointRecord(context_id=-1, begin_lsn=456)
+        assert roundtrip(end) == end
+
+    def test_context_table_record(self):
+        record = CheckpointContextTableRecord(
+            context_id=-1,
+            entries=(
+                CheckpointContextEntry(
+                    context_id=1,
+                    uri="phoenix://a/p/1",
+                    state_record_lsn=99,
+                    creation_lsn=0,
+                ),
+                CheckpointContextEntry(
+                    context_id=2,
+                    uri="phoenix://a/p/2",
+                    state_record_lsn=-1,
+                    creation_lsn=50,
+                ),
+            ),
+        )
+        assert roundtrip(record) == record
+
+    def test_remote_type_record(self):
+        record = CheckpointRemoteTypeRecord(
+            context_id=-1,
+            entries=(
+                ("phoenix://b/p/1", ComponentType.FUNCTIONAL),
+                ("phoenix://b/p/2", ComponentType.READ_ONLY),
+            ),
+        )
+        assert roundtrip(record) == record
+
+    def test_last_call_record(self):
+        record = CheckpointLastCallRecord(
+            context_id=-1,
+            entries=(
+                LastCallEntrySnapshot(
+                    caller_key=("alpha", 1, 2),
+                    call_id=CALL_ID,
+                    reply_lsn=-1,
+                ),
+            ),
+        )
+        assert roundtrip(record) == record

@@ -1,0 +1,211 @@
+"""Binary codec: round trips, framing, corruption detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    ComponentRef,
+    GlobalCallId,
+    MethodCallMessage,
+    ReplyMessage,
+    SenderInfo,
+)
+from repro.common.ids import LocalRef
+from repro.common.types import ComponentType
+from repro.errors import LogCorruptionError, SerializationError
+from repro.log import (
+    decode_value,
+    encode_value,
+    frame,
+    read_frame,
+    serialized_size,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**70, -(2**70), 0.0, -1.5, 3.14,
+         "", "hello", "ünïcodé ≠", b"", b"\x00\xff", [], [1, [2, [3]]],
+         (), (1, "two", 3.0), {}, {"k": [1, 2]}, {1: {2: {3: None}}},
+         set(), {1, 2, 3}, frozenset({"a", "b"})],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_list_distinguished(self):
+        assert type(decode_value(encode_value((1, 2)))) is tuple
+        assert type(decode_value(encode_value([1, 2]))) is list
+
+    def test_set_frozenset_distinguished(self):
+        assert type(decode_value(encode_value({1}))) is set
+        assert type(decode_value(encode_value(frozenset({1})))) is frozenset
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+
+    def test_nested_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value({"ok": [1, 2, object()]})
+
+    def test_serialized_size_matches_encoding(self):
+        value = {"a": [1, 2, 3], "b": "text"}
+        assert serialized_size(value) == len(encode_value(value))
+
+
+class TestWireTypes:
+    def test_call_id_roundtrip(self):
+        call_id = GlobalCallId("alpha", 3, 7, 42)
+        assert decode_value(encode_value(call_id)) == call_id
+
+    def test_component_ref_roundtrip(self):
+        ref = ComponentRef("phoenix://alpha/p1/3")
+        assert decode_value(encode_value(ref)) == ref
+
+    def test_local_ref_roundtrip(self):
+        assert decode_value(encode_value(LocalRef(300001))) == LocalRef(300001)
+
+    def test_component_type_roundtrip(self):
+        for kind in ComponentType:
+            assert decode_value(encode_value(kind)) is kind
+
+    def test_sender_info_roundtrip(self):
+        info = SenderInfo(
+            ComponentType.READ_ONLY, "phoenix://a/p/1", knows_receiver=True
+        )
+        assert decode_value(encode_value(info)) == info
+
+    def test_method_call_roundtrip(self):
+        message = MethodCallMessage(
+            target_uri="phoenix://beta/srv/1",
+            method="put",
+            args=("key", [1, 2], {"nested": (3,)}),
+            call_id=GlobalCallId("alpha", 1, 2, 3),
+            sender=SenderInfo(ComponentType.PERSISTENT, "phoenix://a/c/1"),
+            method_read_only=True,
+        )
+        assert decode_value(encode_value(message)) == message
+
+    def test_external_method_call_roundtrip(self):
+        message = MethodCallMessage(
+            target_uri="phoenix://beta/srv/1", method="ping", args=(1,)
+        )
+        decoded = decode_value(encode_value(message))
+        assert decoded == message
+        assert decoded.call_id is None
+
+    def test_reply_roundtrip(self):
+        reply = ReplyMessage(
+            call_id=GlobalCallId("alpha", 1, 2, 3),
+            value={"result": [1.5, None]},
+            method_read_only=True,
+        )
+        assert decode_value(encode_value(reply)) == reply
+
+    def test_exception_reply_roundtrip(self):
+        reply = ReplyMessage(
+            call_id=None,
+            is_exception=True,
+            exception_message="ValueError: boom",
+        )
+        decoded = decode_value(encode_value(reply))
+        assert decoded.is_exception
+        assert decoded.exception_message == "ValueError: boom"
+
+
+# A recursive strategy over everything the codec supports.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**100), max_value=2**100),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.builds(GlobalCallId, st.text(max_size=8), st.integers(0, 99),
+              st.integers(0, 99), st.integers(0, 999)),
+    st.builds(ComponentRef, st.just("phoenix://a/p/1")),
+    st.sampled_from(list(ComponentType)),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=8), st.integers(-100, 100)),
+            children,
+            max_size=4,
+        ),
+        st.lists(st.integers(-50, 50), max_size=4, unique=True).map(set),
+        st.lists(st.integers(-50, 50), max_size=4, unique=True).map(
+            frozenset
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+class TestPropertyRoundtrip:
+    @given(_values)
+    @settings(max_examples=200, deadline=None)
+    def test_any_supported_value_roundtrips(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(_values)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_is_deterministic(self, value):
+        assert encode_value(value) == encode_value(value)
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        payload = b"hello record"
+        data = frame(payload)
+        got, next_offset = read_frame(data, 0)
+        assert got == payload
+        assert next_offset == len(data)
+
+    def test_multiple_frames(self):
+        data = frame(b"one") + frame(b"two") + frame(b"three")
+        payloads = []
+        offset = 0
+        while True:
+            result = read_frame(data, offset)
+            if result is None:
+                break
+            payload, offset = result
+            payloads.append(payload)
+        assert payloads == [b"one", b"two", b"three"]
+
+    def test_clean_end_returns_none(self):
+        data = frame(b"x")
+        assert read_frame(data, len(data)) is None
+
+    def test_torn_header_detected(self):
+        data = frame(b"payload")[:4]
+        with pytest.raises(LogCorruptionError):
+            read_frame(data, 0)
+
+    def test_torn_payload_detected(self):
+        data = frame(b"payload")[:-2]
+        with pytest.raises(LogCorruptionError):
+            read_frame(data, 0)
+
+    def test_flipped_bit_detected(self):
+        data = bytearray(frame(b"payload"))
+        data[-1] ^= 0x01
+        with pytest.raises(LogCorruptionError):
+            read_frame(bytes(data), 0)
+
+    def test_bad_magic_detected(self):
+        data = bytearray(frame(b"payload"))
+        data[0] ^= 0xFF
+        with pytest.raises(LogCorruptionError):
+            read_frame(bytes(data), 0)

@@ -1,0 +1,104 @@
+"""Property-based checks of the queued substrate.
+
+A recoverable queue, driven by a random interleaving of transactional
+enqueues, dequeues, aborts and crashes, must behave exactly like an
+in-memory FIFO model that only applies committed operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queues import (
+    DurableStateStore,
+    RecoverableQueue,
+    TransactionCoordinator,
+)
+from repro.sim import Cluster
+
+# operation alphabet: each entry is (op, payload)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(0, 999)),
+        st.tuples(st.just("dequeue"), st.none()),
+        st.tuples(st.just("abort_enqueue"), st.integers(0, 999)),
+        st.tuples(st.just("abort_dequeue"), st.none()),
+        st.tuples(st.just("crash"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+class TestQueueModelConformance:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_committed_ops_match_fifo_model(self, ops):
+        machine = Cluster().machine("alpha")
+        coordinator = TransactionCoordinator(machine)
+        queue = RecoverableQueue(machine, "q")
+        model: deque = deque()
+        dequeued = []
+        model_dequeued = []
+
+        for op, payload in ops:
+            if op == "enqueue":
+                with coordinator.begin() as txn:
+                    queue.enqueue(txn, payload)
+                model.append(payload)
+            elif op == "dequeue":
+                with coordinator.begin() as txn:
+                    record = queue.dequeue(txn)
+                if record is not None:
+                    dequeued.append(record.payload)
+                if model:
+                    model_dequeued.append(model.popleft())
+            elif op == "abort_enqueue":
+                txn = coordinator.begin()
+                queue.enqueue(txn, payload)
+                txn.abort()
+            elif op == "abort_dequeue":
+                txn = coordinator.begin()
+                queue.dequeue(txn)
+                txn.abort()
+            elif op == "crash":
+                queue.crash()
+                queue.resolve_in_doubt(coordinator)
+            assert len(queue) == len(model), (op, payload)
+
+        assert dequeued == model_dequeued
+        # final drain matches the model exactly, in order
+        remainder = []
+        while True:
+            with coordinator.begin() as txn:
+                record = queue.dequeue(txn)
+            if record is None:
+                break
+            remainder.append(record.payload)
+        assert remainder == list(model)
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 99)),
+            max_size=15,
+        ),
+        crash_every=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_state_store_last_write_wins_across_crashes(
+        self, writes, crash_every
+    ):
+        machine = Cluster().machine("alpha")
+        coordinator = TransactionCoordinator(machine)
+        store = DurableStateStore(machine, "s")
+        model: dict = {}
+        for index, (key, value) in enumerate(writes):
+            with coordinator.begin() as txn:
+                store.set(txn, key, value)
+            model[key] = value
+            if index % crash_every == 0:
+                store.crash()
+                store.resolve_in_doubt(coordinator)
+            assert store.snapshot() == model

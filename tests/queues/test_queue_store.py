@@ -1,0 +1,167 @@
+"""Recoverable queues and the durable state store."""
+
+import pytest
+
+from repro.queues import (
+    DurableStateStore,
+    RecoverableQueue,
+    TransactionCoordinator,
+)
+from repro.sim import Cluster
+
+
+@pytest.fixture
+def machine():
+    return Cluster().machine("alpha")
+
+
+@pytest.fixture
+def coordinator(machine):
+    return TransactionCoordinator(machine)
+
+
+class TestQueueSemantics:
+    def test_fifo_order(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            for value in ("a", "b", "c"):
+                queue.enqueue(txn, value)
+        got = []
+        for __ in range(3):
+            with coordinator.begin() as txn:
+                got.append(queue.dequeue(txn).payload)
+        assert got == ["a", "b", "c"]
+
+    def test_staged_enqueue_invisible_until_commit(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        txn = coordinator.begin()
+        queue.enqueue(txn, "hidden")
+        assert len(queue) == 0
+        txn.commit()
+        assert len(queue) == 1
+
+    def test_dequeue_returns_on_abort(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            queue.enqueue(txn, "a")
+            queue.enqueue(txn, "b")
+        txn = coordinator.begin()
+        assert queue.dequeue(txn).payload == "a"
+        txn.abort()
+        # "a" is back at the head
+        with coordinator.begin() as txn:
+            assert queue.dequeue(txn).payload == "a"
+
+    def test_empty_dequeue(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        txn = coordinator.begin()
+        assert queue.dequeue(txn) is None
+        txn.abort()
+
+    def test_message_ids_monotonic(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        ids = []
+        for value in range(4):
+            with coordinator.begin() as txn:
+                ids.append(queue.enqueue(txn, value))
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 4
+
+
+class TestQueueRecovery:
+    def test_committed_contents_survive_crash(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            queue.enqueue(txn, "keep-1")
+            queue.enqueue(txn, "keep-2")
+        queue.crash()
+        assert len(queue) == 2
+        with coordinator.begin() as txn:
+            assert queue.dequeue(txn).payload == "keep-1"
+
+    def test_committed_dequeues_stay_dequeued(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            queue.enqueue(txn, "a")
+            queue.enqueue(txn, "b")
+        with coordinator.begin() as txn:
+            queue.dequeue(txn)
+        queue.crash()
+        assert queue.peek_ids() == [2]
+
+    def test_staged_work_lost_on_crash(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        txn = coordinator.begin()
+        queue.enqueue(txn, "staged-only")
+        queue.crash()
+        assert len(queue) == 0
+
+    def test_in_doubt_resolution_commits(self, machine, coordinator):
+        """A 2PC participant crashing after prepare but before its lazy
+        commit record recovers the outcome from the coordinator."""
+        queue = RecoverableQueue(machine, "q")
+        store = DurableStateStore(machine, "s")
+        with coordinator.begin() as txn:
+            queue.enqueue(txn, "msg")
+            store.set(txn, "k", 1)
+        # simulate losing the unforced commit records
+        queue.crash()
+        store.crash()
+        assert len(queue) == 0  # in doubt: not yet visible
+        queue.resolve_in_doubt(coordinator)
+        store.resolve_in_doubt(coordinator)
+        assert len(queue) == 1
+        assert store.get("k") == 1
+
+    def test_in_doubt_resolution_presumes_abort(self, machine, coordinator):
+        queue = RecoverableQueue(machine, "q")
+        store = DurableStateStore(machine, "s")
+        txn = coordinator.begin()
+        queue.enqueue(txn, "msg")
+        store.set(txn, "k", 1)
+        # run phase 1 only: prepares forced, no coordinator decision
+        queue.prepare(txn.txn_id)
+        store.prepare(txn.txn_id)
+        queue.crash()
+        store.crash()
+        queue.resolve_in_doubt(coordinator)
+        store.resolve_in_doubt(coordinator)
+        assert len(queue) == 0
+        assert store.get("k") is None
+
+
+class TestStateStore:
+    def test_read_your_writes(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        txn = coordinator.begin()
+        store.set(txn, "k", 10)
+        assert store.get_in_txn(txn, "k") == 10
+        assert store.get("k") is None  # not yet committed
+        txn.commit()
+        assert store.get("k") == 10
+
+    def test_committed_state_survives_crash(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        with coordinator.begin() as txn:
+            store.set(txn, "a", 1)
+        with coordinator.begin() as txn:
+            store.set(txn, "a", 2)
+            store.set(txn, "b", 3)
+        store.crash()
+        assert store.snapshot() == {"a": 2, "b": 3}
+
+    def test_default_values(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        assert store.get("missing", "fallback") == "fallback"
+        txn = coordinator.begin()
+        assert store.get_in_txn(txn, "missing", 7) == 7
+        txn.abort()
+
+    def test_reads_do_not_force(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        with coordinator.begin() as txn:
+            store.set(txn, "k", 1)
+        forces = store.total_forces
+        for __ in range(10):
+            store.get("k")
+        assert store.total_forces == forces

@@ -1,0 +1,106 @@
+"""Transaction coordinator: 1PC/2PC, presumed abort."""
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.queues import (
+    DurableStateStore,
+    RecoverableQueue,
+    TransactionCoordinator,
+)
+from repro.sim import Cluster
+
+
+@pytest.fixture
+def machine():
+    return Cluster().machine("alpha")
+
+
+@pytest.fixture
+def coordinator(machine):
+    return TransactionCoordinator(machine)
+
+
+class TestCommitProtocol:
+    def test_empty_transaction_commits_free(self, coordinator):
+        txn = coordinator.begin()
+        txn.commit()
+        assert coordinator.commits == 1
+        assert coordinator.total_forces == 0
+
+    def test_single_participant_uses_one_phase(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        with coordinator.begin() as txn:
+            store.set(txn, "k", 1)
+        assert coordinator.one_phase_commits == 1
+        assert coordinator.total_forces == 0  # commit point at participant
+        assert store.total_forces == 1
+
+    def test_multi_participant_uses_two_phase(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            store.set(txn, "k", 1)
+            queue.enqueue(txn, "msg")
+        assert coordinator.two_phase_commits == 1
+        # one prepare force per participant + one coordinator force
+        assert store.total_forces == 1
+        assert queue.total_forces == 1
+        assert coordinator.total_forces == 1
+
+    def test_txn_ids_unique(self, coordinator):
+        a = coordinator.begin()
+        b = coordinator.begin()
+        assert a.txn_id != b.txn_id
+
+    def test_double_commit_rejected(self, coordinator):
+        txn = coordinator.begin()
+        txn.commit()
+        with pytest.raises(InvariantViolationError):
+            txn.commit()
+
+    def test_enlist_after_commit_rejected(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        txn = coordinator.begin()
+        txn.commit()
+        with pytest.raises(InvariantViolationError):
+            store.set(txn, "k", 1)
+
+
+class TestAbort:
+    def test_abort_discards_writes(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        txn = coordinator.begin()
+        store.set(txn, "k", 1)
+        txn.abort()
+        assert store.get("k") is None
+        assert coordinator.aborts == 1
+
+    def test_context_manager_aborts_on_exception(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        with pytest.raises(RuntimeError):
+            with coordinator.begin() as txn:
+                store.set(txn, "k", 1)
+                raise RuntimeError("boom")
+        assert store.get("k") is None
+
+    def test_abort_costs_no_forces(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        txn = coordinator.begin()
+        store.set(txn, "k", 1)
+        txn.abort()
+        assert store.total_forces == 0
+        assert coordinator.total_forces == 0
+
+
+class TestCommittedTxns:
+    def test_only_two_phase_decisions_recorded(self, machine, coordinator):
+        store = DurableStateStore(machine, "s")
+        queue = RecoverableQueue(machine, "q")
+        with coordinator.begin() as txn:
+            store.set(txn, "solo", 1)  # 1PC: no coordinator record
+        with coordinator.begin() as txn:
+            store.set(txn, "pair", 2)
+            queue.enqueue(txn, "m")
+        committed = coordinator.committed_txns()
+        assert len(committed) == 1

@@ -1,0 +1,78 @@
+"""Context-failure recovery: the easy case of Section 4.4."""
+
+import pytest
+
+from repro.checkpoint import save_context_state
+from repro.core import ProcessState
+from tests.conftest import Counter, KvStore, TallyOwner
+
+
+class TestContextCrash:
+    def test_context_recovers_without_process_restart(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        other = process.create_component(Counter, args=(1000,))
+        for __ in range(5):
+            counter.increment()
+        recoveries_before = process.recovery_count
+        runtime.crash_context(process.find_context(1))
+        assert counter.increment() == 6
+        # the process itself never restarted
+        assert process.recovery_count == recoveries_before
+        assert process.state is ProcessState.RUNNING
+        # the sibling context was untouched
+        assert other.increment() == 1001
+
+    def test_context_recovery_uses_state_record(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        for __ in range(10):
+            counter.increment()
+        save_context_state(process.find_context(1))
+        counter.increment()  # flush; count=11
+        context = process.find_context(1)
+        runtime.crash_context(context)
+        before = runtime.now
+        assert counter.increment() == 12
+        # restoring from the state record replays only the tail, not all
+        # 11 calls; elapsed stays well under a full process recovery
+        assert runtime.now - before < runtime.costs.runtime_init
+
+    def test_context_recovery_rebuilds_subordinates(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        owner = process.create_component(TallyOwner)
+        owner.add("x")
+        owner.add("y")
+        runtime.crash_context(process.find_context(1))
+        assert owner.total() == 2
+
+    def test_context_recovery_preserves_dedup(self, runtime):
+        """A persistent caller's retry after a context crash must be
+        answered from the rebuilt last-call state, not re-executed."""
+        from tests.conftest import Relay
+
+        store_process = runtime.spawn_process("sp", machine="beta")
+        store = store_process.create_component(KvStore)
+        relay_process = runtime.spawn_process("rp", machine="alpha")
+        relay = relay_process.create_component(Relay, args=(store,))
+        relay.put("a", 1)
+        runtime.crash_context(store_process.find_context(1))
+        relay.put("b", 2)
+        assert store_process.component_table[1].instance.executions == 2
+
+    def test_crashed_context_unavailable_without_auto_recover(self):
+        from repro import (
+            ComponentUnavailableError,
+            PhoenixRuntime,
+            RuntimeConfig,
+        )
+
+        runtime = PhoenixRuntime(
+            config=RuntimeConfig.optimized(auto_recover=False)
+        )
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        counter.increment()
+        runtime.crash_context(process.find_context(1))
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()

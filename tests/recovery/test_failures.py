@@ -1,0 +1,96 @@
+"""Crash injector mechanics."""
+
+import pytest
+
+from repro import ComponentUnavailableError, ConfigurationError, CrashInjector
+from repro.core import ProcessState
+from tests.conftest import Counter
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        injector = CrashInjector()
+        with pytest.raises(ConfigurationError):
+            injector.arm("proc", "nonsense.point")
+
+    def test_bad_occurrence_rejected(self):
+        injector = CrashInjector()
+        with pytest.raises(ConfigurationError):
+            injector.arm("proc", "method.before", occurrence=0)
+
+    def test_disarm_all(self):
+        injector = CrashInjector()
+        injector.arm("proc", "method.before")
+        injector.disarm_all()
+        assert injector.armed_count == 0
+
+
+class TestFiring:
+    def test_crash_at_point_kills_process(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        counter.increment()
+        runtime.injector.arm("p", "method.before")
+        # external callers get the recognized failure exception...
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()
+        assert process.crash_count == 1
+        assert runtime.injector.fired == [("p", "method.before")]
+        # ...and the next call finds the process recovered.  Message 1
+        # was forced before the crash, so recovery *completed* the
+        # in-flight call (count became 2); the external retry has no
+        # call ID to dedup on and executes again — the paper's window
+        # of vulnerability for external clients (Section 3.1.2).
+        assert counter.increment() == 3
+
+    def test_nth_occurrence(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        runtime.injector.arm("p", "method.before", occurrence=3)
+        counter.increment()
+        counter.increment()
+        assert process.crash_count == 0
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()
+        assert process.crash_count == 1
+
+    def test_one_shot(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        runtime.injector.arm("p", "method.before")
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()
+        counter.increment()
+        counter.increment()
+        assert process.crash_count == 1
+
+    def test_after_send_is_silent(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        runtime.injector.arm("p", "reply.after_send")
+        # the caller still gets the reply; the process dies afterwards
+        assert counter.increment() == 1
+        assert process.state is ProcessState.CRASHED
+
+    def test_arm_accepts_process_object(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        runtime.injector.arm(process, "method.after")
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()
+        assert process.crash_count == 1
+
+    def test_points_do_not_fire_during_replay(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        counter = process.create_component(Counter)
+        for __ in range(3):
+            counter.increment()
+        runtime.crash_process(process)
+        # arm a point that replay passes through; it must NOT fire for
+        # replayed calls, only for the next live one
+        runtime.injector.arm("p", "method.before", occurrence=2)
+        assert counter.increment() == 4  # recovery replays 3 calls
+        assert process.crash_count == 1  # no crash during replay
+        with pytest.raises(ComponentUnavailableError):
+            counter.increment()
+        assert process.crash_count == 2  # second live call fired it

@@ -1,0 +1,59 @@
+"""The per-machine recovery service (Section 2.4)."""
+
+import pytest
+
+from repro import PhoenixRuntime
+from repro.core import ProcessState
+from tests.conftest import Counter
+
+
+class TestRegistration:
+    def test_logical_pids_are_sequential(self, runtime):
+        p1 = runtime.spawn_process("a", machine="alpha")
+        p2 = runtime.spawn_process("b", machine="alpha")
+        assert (p1.logical_pid, p2.logical_pid) == (1, 2)
+
+    def test_pids_independent_per_machine(self, runtime):
+        p1 = runtime.spawn_process("a", machine="alpha")
+        p2 = runtime.spawn_process("b", machine="beta")
+        assert p1.logical_pid == 1
+        assert p2.logical_pid == 1
+
+    def test_registration_is_durable_write(self, runtime):
+        machine = runtime.cluster.machine("alpha")
+        writes_before = machine.disk.stats.writes
+        runtime.spawn_process("a", machine="alpha")
+        assert machine.disk.stats.writes > writes_before
+
+    def test_pid_stable_across_restart(self, runtime):
+        process = runtime.spawn_process("a", machine="alpha")
+        counter = process.create_component(Counter)
+        counter.increment()
+        pid_before = process.logical_pid
+        runtime.crash_process(process)
+        counter.increment()  # triggers restart + recovery
+        assert process.logical_pid == pid_before
+        assert process.state is ProcessState.RUNNING
+
+
+class TestMonitoring:
+    def test_crash_is_noticed(self, runtime):
+        process = runtime.spawn_process("a", machine="alpha")
+        runtime.crash_process(process)
+        service = runtime.cluster.machine("alpha").recovery_service
+        assert service.crashed_processes() == ["a"]
+
+    def test_restart_clears_crash_flag(self, runtime):
+        process = runtime.spawn_process("a", machine="alpha")
+        counter = process.create_component(Counter)
+        runtime.crash_process(process)
+        service = runtime.cluster.machine("alpha").recovery_service
+        service.restart(process)
+        assert service.crashed_processes() == []
+        assert process.state is ProcessState.RUNNING
+
+    def test_restart_running_process_is_noop(self, runtime):
+        process = runtime.spawn_process("a", machine="alpha")
+        service = runtime.cluster.machine("alpha").recovery_service
+        service.restart(process)
+        assert process.recovery_count == 0

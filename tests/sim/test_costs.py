@@ -1,0 +1,48 @@
+"""Cost model calibration constants."""
+
+import pytest
+
+from repro.sim import (
+    DEFAULT_COSTS,
+    DEFAULT_GEOMETRY,
+    DEFAULT_NETWORK_SPEC,
+    CostModel,
+)
+
+
+class TestCostModel:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.network_round_trip = 1.0
+
+    def test_with_overrides_copies(self):
+        tweaked = DEFAULT_COSTS.with_overrides(replay_per_call=0.3)
+        assert tweaked.replay_per_call == 0.3
+        assert DEFAULT_COSTS.replay_per_call == 0.15
+
+    def test_paper_calibration_anchors(self):
+        """These constants come straight from the paper's measurements;
+        changing them silently would invalidate every reproduced cell."""
+        costs = CostModel()
+        assert costs.marshal_by_ref_call == pytest.approx(0.593)
+        assert costs.context_bound_call == pytest.approx(0.585)
+        assert costs.type_attachment_cost == pytest.approx(0.5)
+        assert costs.subordinate_call == pytest.approx(3.44e-5)
+        assert costs.replay_per_call == pytest.approx(0.15)
+        assert costs.object_creation == pytest.approx(80.0)
+        assert costs.state_record_restore == pytest.approx(60.0)
+        assert costs.runtime_init == pytest.approx(492.0)
+
+    def test_geometry_anchors(self):
+        assert DEFAULT_GEOMETRY.rpm == 7200
+        assert DEFAULT_GEOMETRY.rotation_ms == pytest.approx(8.333, abs=1e-3)
+        assert DEFAULT_GEOMETRY.track_to_track_seek_ms == pytest.approx(0.8)
+        assert DEFAULT_GEOMETRY.average_seek_ms == pytest.approx(10.5)
+
+    def test_network_anchor(self):
+        assert DEFAULT_NETWORK_SPEC.bandwidth_mbps == 100.0
+        assert DEFAULT_NETWORK_SPEC.round_trip_ms == pytest.approx(0.21)
+
+    def test_checkpoint_breakeven_is_400_calls(self):
+        costs = CostModel()
+        assert costs.state_record_restore / costs.replay_per_call == 400

@@ -1,0 +1,157 @@
+"""Rotational disk model — the Figure 9 mechanism."""
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.sim import DiskGeometry, RotationalDisk, SimClock
+
+
+@pytest.fixture
+def disk():
+    return RotationalDisk(SimClock())
+
+
+ROTATION = DiskGeometry().rotation_ms
+
+
+class TestGeometry:
+    def test_rotation_at_7200_rpm(self):
+        assert DiskGeometry().rotation_ms == pytest.approx(8.3333, abs=1e-3)
+
+    def test_transfer_scales_with_bytes(self):
+        geometry = DiskGeometry()
+        assert geometry.transfer_ms(2048) == pytest.approx(
+            2 * geometry.transfer_ms(1024)
+        )
+
+    def test_same_track_seek_is_free(self):
+        assert DiskGeometry().seek_ms(10, 10) == 0.0
+
+    def test_adjacent_track_seek(self):
+        geometry = DiskGeometry()
+        assert geometry.seek_ms(0, 1) == geometry.track_to_track_seek_ms
+
+    def test_seek_capped_at_average(self):
+        geometry = DiskGeometry()
+        assert geometry.seek_ms(0, 100_000) == geometry.average_seek_ms
+
+    def test_seek_symmetric(self):
+        geometry = DiskGeometry()
+        assert geometry.seek_ms(3, 40) == geometry.seek_ms(40, 3)
+
+
+class TestSequentialWrites:
+    def test_back_to_back_writes_miss_a_full_rotation(self, disk):
+        """Paper Section 5.2.2: 'unbuffered writes indeed miss a full
+        rotation' — ~8.5 ms per 1 KB write."""
+        file = disk.create_file("log")
+        disk.write(file, 1024)  # land on the sequential pattern
+        services = [disk.write(file, 1024) for _ in range(5)]
+        for service in services:
+            assert service == pytest.approx(8.5, abs=0.2)
+
+    def test_figure9_staircase(self):
+        """Elapsed per iteration is flat at ~8.5 then steps by one
+        rotation as the inserted delay crosses rotation multiples."""
+        measured = {}
+        for delay in (0, 4, 10, 12, 20, 28, 36):
+            clock = SimClock()
+            disk = RotationalDisk(clock)
+            file = disk.create_file("log")
+            disk.write(file, 1024)
+            started = clock.now
+            for _ in range(20):
+                clock.advance(float(delay))
+                disk.write(file, 1024)
+            measured[delay] = (clock.now - started) / 20
+        assert measured[0] == pytest.approx(8.5, abs=0.2)
+        assert measured[4] == pytest.approx(measured[0], abs=0.1)
+        # one missed rotation
+        assert measured[10] == pytest.approx(measured[0] + ROTATION, abs=0.3)
+        assert measured[12] == pytest.approx(measured[10], abs=0.1)
+        # two, three, four missed rotations
+        assert measured[20] == pytest.approx(measured[0] + 2 * ROTATION, abs=0.3)
+        assert measured[28] == pytest.approx(measured[0] + 3 * ROTATION, abs=0.3)
+        assert measured[36] == pytest.approx(measured[0] + 4 * ROTATION, abs=0.3)
+
+    def test_write_advances_shared_clock(self, disk):
+        file = disk.create_file("log")
+        before = disk.clock.now
+        service = disk.write(file, 512)
+        assert disk.clock.now == pytest.approx(before + service)
+
+    def test_write_size_tracked(self, disk):
+        file = disk.create_file("log")
+        disk.write(file, 100)
+        disk.write(file, 200)
+        assert file.total_bytes == 300
+        assert file.write_count == 2
+
+    def test_track_advances_when_full(self, disk):
+        file = disk.create_file("log")
+        capacity = disk.geometry.track_capacity_bytes
+        start_track = file.track
+        for _ in range(3):
+            disk.write(file, capacity // 2 + 1)
+        assert file.track > start_track
+
+    def test_zero_byte_write_rejected(self, disk):
+        file = disk.create_file("log")
+        with pytest.raises(InvariantViolationError):
+            disk.write(file, 0)
+
+
+class TestWriteCache:
+    def test_cached_write_is_fast_and_constant(self):
+        disk = RotationalDisk(SimClock(), write_cache_enabled=True)
+        file = disk.create_file("log")
+        services = [disk.write(file, 1024) for _ in range(5)]
+        for service in services:
+            assert service == disk.geometry.cached_write_ms
+
+    def test_cache_toggle(self):
+        disk = RotationalDisk(SimClock())
+        file = disk.create_file("log")
+        disk.write(file, 1024)
+        slow = disk.write(file, 1024)
+        disk.write_cache_enabled = True
+        fast = disk.write(file, 1024)
+        assert fast < slow / 5
+
+    def test_stats_distinguish_cache_hits(self):
+        disk = RotationalDisk(SimClock(), write_cache_enabled=True)
+        file = disk.create_file("log")
+        disk.write(file, 64)
+        assert disk.stats.cached_writes == 1
+        assert disk.stats.media_writes == 0
+
+
+class TestFiles:
+    def test_duplicate_file_rejected(self, disk):
+        disk.create_file("log")
+        with pytest.raises(InvariantViolationError):
+            disk.create_file("log")
+
+    def test_files_get_distinct_regions(self, disk):
+        a = disk.create_file("a")
+        b = disk.create_file("b")
+        assert a.start_track != b.start_track
+
+    def test_has_file(self, disk):
+        disk.create_file("a")
+        assert disk.has_file("a")
+        assert not disk.has_file("b")
+
+    def test_cross_file_writes_pay_a_seek(self, disk):
+        a = disk.create_file("a")
+        b = disk.create_file("b")
+        disk.write(a, 64)
+        seeks_before = disk.stats.seeks
+        disk.write(b, 64)
+        assert disk.stats.seeks == seeks_before + 1
+
+    def test_full_rotation_waits_counted(self, disk):
+        file = disk.create_file("log")
+        disk.write(file, 1024)
+        disk.write(file, 1024)
+        assert disk.stats.full_rotation_waits >= 1

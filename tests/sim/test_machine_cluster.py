@@ -1,0 +1,66 @@
+"""Machines and the cluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Cluster
+
+
+class TestCluster:
+    def test_default_two_machines(self):
+        cluster = Cluster()
+        assert cluster.machine_names() == ["alpha", "beta"]
+
+    def test_custom_names(self):
+        cluster = Cluster(["m1", "m2", "m3"])
+        assert cluster.machine_names() == ["m1", "m2", "m3"]
+
+    def test_shared_clock(self):
+        cluster = Cluster()
+        cluster.machine("alpha").disk.clock.advance(5.0)
+        assert cluster.now == 5.0
+        assert cluster.machine("beta").clock.now == 5.0
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigurationError):
+            Cluster().machine("gamma")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(["a", "a"])
+
+    def test_write_cache_flag_propagates(self):
+        cluster = Cluster(write_cache_enabled=True)
+        assert cluster.machine("alpha").disk.write_cache_enabled
+
+
+class TestMachine:
+    def test_each_machine_has_own_disk_and_store(self):
+        cluster = Cluster()
+        alpha = cluster.machine("alpha")
+        beta = cluster.machine("beta")
+        assert alpha.disk is not beta.disk
+        assert alpha.stable_store is not beta.stable_store
+        alpha.stable_store.create("x")
+        assert not beta.stable_store.exists("x")
+
+    def test_set_write_cache(self):
+        machine = Cluster().machine("alpha")
+        machine.set_write_cache(True)
+        assert machine.disk.write_cache_enabled
+
+    def test_process_registry(self):
+        machine = Cluster().machine("alpha")
+
+        class FakeProcess:
+            name = "p1"
+
+        proc = FakeProcess()
+        machine.register_process(proc)
+        assert machine.has_process("p1")
+        assert machine.process("p1") is proc
+        assert machine.processes() == [proc]

@@ -1,0 +1,61 @@
+"""Network latency model and partitions."""
+
+import pytest
+
+from repro.sim import Network, NetworkSpec, SimClock
+
+
+@pytest.fixture
+def network():
+    return Network(SimClock())
+
+
+class TestLatency:
+    def test_same_machine_is_free(self, network):
+        assert network.hop_ms("alpha", "alpha") == 0.0
+        network.transmit("alpha", "alpha", 1000)
+        assert network.clock.now == 0.0
+
+    def test_cross_machine_half_round_trip(self, network):
+        hop = network.hop_ms("alpha", "beta", 0)
+        assert hop == pytest.approx(network.spec.round_trip_ms / 2)
+
+    def test_payload_adds_wire_time(self, network):
+        small = network.hop_ms("alpha", "beta", 100)
+        large = network.hop_ms("alpha", "beta", 100_000)
+        assert large > small
+
+    def test_transmit_advances_clock(self, network):
+        network.transmit("alpha", "beta", 256)
+        assert network.clock.now > 0.0
+
+    def test_stats(self, network):
+        network.transmit("alpha", "beta", 256)
+        network.transmit("beta", "alpha", 128)
+        assert network.stats.messages == 2
+        assert network.stats.bytes == 384
+
+    def test_bandwidth_spec(self):
+        spec = NetworkSpec(bandwidth_mbps=100.0)
+        # 100 Mb/s = 12.5 KB/ms -> 12500 bytes take 1 ms
+        assert spec.transfer_ms(12_500) == pytest.approx(1.0)
+
+
+class TestPartitions:
+    def test_partition_blocks_transmission(self, network):
+        network.partition("alpha", "beta")
+        with pytest.raises(ConnectionError):
+            network.transmit("alpha", "beta")
+
+    def test_partition_is_symmetric(self, network):
+        network.partition("alpha", "beta")
+        assert network.is_partitioned("beta", "alpha")
+
+    def test_heal(self, network):
+        network.partition("alpha", "beta")
+        network.heal("beta", "alpha")
+        network.transmit("alpha", "beta")  # no raise
+
+    def test_local_loop_never_partitioned(self, network):
+        network.partition("alpha", "alpha")
+        assert not network.is_partitioned("alpha", "alpha")

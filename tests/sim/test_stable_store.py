@@ -1,0 +1,84 @@
+"""Durable byte files."""
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.sim import StableStore
+
+
+@pytest.fixture
+def store():
+    return StableStore("alpha")
+
+
+class TestStableFile:
+    def test_append_returns_offset(self, store):
+        file = store.create("log")
+        assert file.append(b"abc") == 0
+        assert file.append(b"de") == 3
+        assert file.size == 5
+
+    def test_read_all(self, store):
+        file = store.create("log")
+        file.append(b"hello")
+        assert file.read() == b"hello"
+
+    def test_read_slice(self, store):
+        file = store.create("log")
+        file.append(b"hello world")
+        assert file.read(6, 5) == b"world"
+
+    def test_read_past_end_rejected(self, store):
+        file = store.create("log")
+        file.append(b"ab")
+        with pytest.raises(InvariantViolationError):
+            file.read(5)
+
+    def test_overwrite_replaces_content(self, store):
+        file = store.create("wk")
+        file.append(b"old")
+        file.overwrite(b"newer")
+        assert file.read() == b"newer"
+
+    def test_truncate(self, store):
+        file = store.create("log")
+        file.append(b"abcdef")
+        file.truncate(2)
+        assert file.read() == b"ab"
+
+    def test_truncate_bounds_checked(self, store):
+        file = store.create("log")
+        file.append(b"ab")
+        with pytest.raises(InvariantViolationError):
+            file.truncate(10)
+
+
+class TestStableStore:
+    def test_create_and_open(self, store):
+        store.create("a")
+        assert store.open("a") is store.open("a")
+
+    def test_open_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.open("nope")
+
+    def test_open_create(self, store):
+        file = store.open("lazy", create=True)
+        assert store.exists("lazy")
+        assert file.size == 0
+
+    def test_duplicate_create_rejected(self, store):
+        store.create("a")
+        with pytest.raises(InvariantViolationError):
+            store.create("a")
+
+    def test_delete(self, store):
+        store.create("a")
+        store.delete("a")
+        assert not store.exists("a")
+        store.delete("a")  # idempotent
+
+    def test_names_sorted(self, store):
+        store.create("b")
+        store.create("a")
+        assert store.names() == ["a", "b"]

@@ -1,0 +1,50 @@
+"""Every example script must run clean, end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_examples_exist():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "bookstore_demo",
+        "crash_recovery_demo",
+        "checkpoint_tuning",
+        "stateful_vs_queued",
+        "orderflow_demo",
+    } <= names
+
+
+def test_bench_report_generator_runs(tmp_path):
+    output = tmp_path / "EXPERIMENTS.md"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", str(output)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    content = output.read_text()
+    assert "Table 4" in content and "Table 8" in content
+    assert "paper" in content
