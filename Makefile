@@ -1,6 +1,6 @@
 # Convenience targets (everything works offline).
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test bench perf report examples all clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Hot-path guardrails: the log read/write microbenchmark plus the
+# Table 7 recovery benchmark that exercises replay end to end.
+perf:
+	pytest benchmarks/bench_log_hotpath.py benchmarks/bench_table7_recovery.py \
+		--benchmark-only -s
 
 report:
 	python -m repro.bench EXPERIMENTS.md

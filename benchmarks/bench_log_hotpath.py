@@ -1,0 +1,106 @@
+"""Log hot-path microbenchmark (not a paper table).
+
+The paper's simulated results (Tables 4–8) count disk I/Os and message
+rounds; this benchmark guards the *Python-level* cost of the log
+implementation that produces them.  It appends 10k–100k records, then
+point-reads and tail-scans, asserting that the read path is indexed:
+``bytes_read`` must grow with the number of records actually read, not
+with the size of the log — i.e. a point read fetches one frame, a tail
+scan fetches one suffix, regardless of history length.
+
+Run via ``make perf`` (with the Table 7 recovery benchmark) or::
+
+    pytest benchmarks/bench_log_hotpath.py --benchmark-only -s
+"""
+
+from repro.common.messages import MessageKind, MethodCallMessage
+from repro.log import LogManager, MessageRecord
+from repro.sim import Cluster
+
+from conftest import run_experiment
+
+SIZES = (10_000, 100_000)
+POINT_READS = 1_000
+TAIL_RECORDS = 1_000
+
+
+def _record(n: int) -> MessageRecord:
+    return MessageRecord(
+        context_id=1,
+        kind=MessageKind.INCOMING_CALL,
+        message=MethodCallMessage(
+            target_uri="phoenix://alpha/p/1", method="m", args=(n,)
+        ),
+    )
+
+
+def _build_log(n_records: int) -> tuple[LogManager, list[int]]:
+    machine = Cluster().machine("alpha")
+    log = LogManager("p1", machine.disk, machine.stable_store)
+    lsns = [log.append(_record(i)) for i in range(n_records)]
+    log.force()
+    return log, lsns
+
+
+def _hotpath_experiment() -> dict[int, dict[str, float]]:
+    results: dict[int, dict[str, float]] = {}
+    for n in SIZES:
+        log, lsns = _build_log(n)
+        frame_len = lsns[1] - lsns[0]
+
+        before = log.stats.bytes_read
+        step = max(1, n // POINT_READS)
+        targets = lsns[::step][:POINT_READS]
+        for lsn in targets:
+            log.read_record(lsn)
+        point_bytes = log.stats.bytes_read - before
+
+        before = log.stats.bytes_read
+        tail_from = lsns[-TAIL_RECORDS]
+        tail_count = sum(1 for __ in log.scan(tail_from))
+        tail_bytes = log.stats.bytes_read - before
+        tail_suffix = log.stable_lsn - tail_from
+
+        results[n] = {
+            "tail_suffix": tail_suffix,
+            "frame_len": frame_len,
+            "point_reads": len(targets),
+            "point_bytes": point_bytes,
+            "point_bytes_per_read": point_bytes / len(targets),
+            "tail_count": tail_count,
+            "tail_bytes": tail_bytes,
+            "log_bytes": log.stable_lsn,
+            "index_hits": log.stats.index_hits,
+        }
+    return results
+
+
+def bench_log_hotpath(benchmark):
+    results = benchmark.pedantic(_hotpath_experiment, iterations=1, rounds=1)
+
+    print()
+    for n, r in sorted(results.items()):
+        print(
+            f"{n:>7} records ({r['log_bytes']:>8.0f} log bytes): "
+            f"{r['point_bytes_per_read']:.0f} bytes/point-read, "
+            f"tail scan {r['tail_bytes']:.0f} bytes"
+        )
+
+    for n, r in results.items():
+        # a point read fetches one frame (frame sizes vary by a few
+        # bytes with the integer payload width), independent of log size
+        assert r["point_bytes_per_read"] <= r["frame_len"] + 8
+        # ... which is a vanishing fraction of the log (acceptance
+        # criterion: <= 1% of the seed's whole-log read per lookup)
+        assert r["point_bytes_per_read"] <= 0.01 * r["log_bytes"]
+        # a tail scan fetches exactly the tail suffix, nothing before it
+        assert r["tail_count"] == TAIL_RECORDS
+        assert r["tail_bytes"] == r["tail_suffix"]
+        # every point read and the scan start resolved via the index
+        assert r["index_hits"] >= r["point_reads"]
+
+    # bytes_read is O(records read): the same point-read workload costs
+    # (almost) the same bytes on a 10x larger log
+    small, large = results[SIZES[0]], results[SIZES[-1]]
+    assert large["point_bytes"] <= 1.1 * small["point_bytes"]
+    assert large["tail_bytes"] <= 1.1 * small["tail_bytes"]

@@ -172,6 +172,17 @@ _TAG_END_CHECKPOINT = 9
 def encode_record(record: LogRecord) -> bytes:
     """Serialize a record into a frame payload."""
     writer = Writer()
+    encode_record_into(writer, record)
+    return writer.getvalue()
+
+
+def encode_record_into(writer: Writer, record: LogRecord) -> None:
+    """Serialize a record through ``writer``.
+
+    The streaming form of :func:`encode_record`: the log manager passes
+    a writer bound to its volatile buffer so appending a record never
+    builds an intermediate ``bytes`` object.
+    """
     if isinstance(record, MessageRecord):
         writer.u8(_TAG_MESSAGE)
         writer.signed(record.context_id)
@@ -237,7 +248,6 @@ def encode_record(record: LogRecord) -> bytes:
         raise LogCorruptionError(
             f"unknown record class {type(record).__name__}"
         )
-    return writer.getvalue()
 
 
 def decode_record(payload: bytes) -> LogRecord:

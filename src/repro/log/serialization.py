@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections.abc import Iterator
 
 from ..common.ids import ComponentRef, GlobalCallId, LocalRef
 from ..common.messages import MethodCallMessage, ReplyMessage, SenderInfo
@@ -50,22 +51,27 @@ _MAX_INT_BYTES = 64  # generous: 512-bit integers
 
 
 class Writer:
-    """Appends primitives and tagged values to a byte buffer."""
+    """Appends primitives and tagged values to a byte buffer.
 
-    def __init__(self) -> None:
-        self._chunks: list[bytes] = []
-        self._size = 0
+    With ``out`` the writer appends directly to a caller-owned
+    ``bytearray`` (the log manager passes its volatile buffer so record
+    encoding never materializes an intermediate ``bytes`` object);
+    without it the writer owns a fresh buffer.
+    """
+
+    def __init__(self, out: bytearray | None = None) -> None:
+        self._buffer = out if out is not None else bytearray()
+        self._base = len(self._buffer)
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        return bytes(self._buffer[self._base:])
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._buffer) - self._base
 
     # -- primitives ----------------------------------------------------
     def raw(self, data: bytes) -> None:
-        self._chunks.append(data)
-        self._size += len(data)
+        self._buffer.extend(data)
 
     def u8(self, value: int) -> None:
         self.raw(struct.pack("<B", value))
@@ -447,3 +453,130 @@ def read_frame(data: bytes, offset: int) -> tuple[bytes, int] | None:
 
 def frame_overhead() -> int:
     return _FRAME_HEADER.size
+
+
+def read_frame_incremental(fetch, offset: int, size: int):
+    """Read one frame using an incremental ``fetch(offset, length)``.
+
+    Same contract and failure modes as :func:`read_frame` against a file
+    of ``size`` bytes, but fetches only the frame's own bytes (header,
+    then payload) instead of requiring the whole file in memory.  The
+    log manager uses it for point reads that miss its LSN index.
+    """
+    if offset == size:
+        return None
+    if offset + _FRAME_HEADER.size > size:
+        raise LogCorruptionError(f"torn frame header at offset {offset}")
+    header = fetch(offset, _FRAME_HEADER.size)
+    magic, length, crc = _FRAME_HEADER.unpack(header)
+    if magic != _FRAME_MAGIC:
+        raise LogCorruptionError(f"bad frame magic at offset {offset}")
+    start = offset + _FRAME_HEADER.size
+    end = start + length
+    if end > size:
+        raise LogCorruptionError(f"torn frame payload at offset {offset}")
+    payload = fetch(start, length)
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise LogCorruptionError(f"CRC mismatch at offset {offset}")
+    return payload, end
+
+
+_HEADER_PLACEHOLDER = bytes(_FRAME_HEADER.size)
+
+
+def begin_frame(buffer: bytearray) -> int:
+    """Reserve a frame header at the end of ``buffer``.
+
+    Zero-copy counterpart of :func:`frame`: the caller encodes the
+    payload directly into ``buffer`` (e.g. with ``Writer(out=buffer)``)
+    and then calls :func:`end_frame`, which backfills the header in
+    place.  Returns the header's offset for :func:`end_frame`.
+    """
+    offset = len(buffer)
+    buffer.extend(_HEADER_PLACEHOLDER)
+    return offset
+
+
+def end_frame(buffer: bytearray, header_offset: int) -> int:
+    """Finalize a frame begun with :func:`begin_frame`.
+
+    The payload must be exactly the bytes appended to ``buffer`` since
+    ``begin_frame`` returned.  Computes length and CRC32 over them
+    without copying and packs the header in place.  Returns the total
+    frame length (header + payload).
+    """
+    payload_start = header_offset + _FRAME_HEADER.size
+    length = len(buffer) - payload_start
+    # Both views die before returning, so the caller may resize the
+    # buffer freely afterwards.
+    payload = memoryview(buffer)[payload_start:]
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    payload.release()
+    _FRAME_HEADER.pack_into(buffer, header_offset, _FRAME_MAGIC, length, crc)
+    return _FRAME_HEADER.size + length
+
+
+def iter_frames(
+    data: bytes, offset: int = 0
+) -> "Iterator[tuple[int, bytes, int]]":
+    """Yield ``(offset, payload, next_offset)`` for each frame in
+    ``data`` starting at ``offset``.
+
+    The shared read loop for every framed file in the system (process
+    logs, the recovery service's registration table, the queued
+    substrate's durable logs).  Raises :class:`LogCorruptionError` at
+    the first bad frame, exactly like :func:`read_frame`.
+    """
+    while True:
+        result = read_frame(data, offset)
+        if result is None:
+            return
+        payload, next_offset = result
+        yield offset, payload, next_offset
+        offset = next_offset
+
+
+def any_frame_after(data: bytes, bad_offset: int) -> bool:
+    """Is there a decodable frame anywhere after a corrupt one?
+
+    Distinguishes a torn tail (safe to truncate) from interior
+    corruption (must be surfaced): search for the frame magic past
+    ``bad_offset`` and try to decode from each candidate position.
+    This is the unindexed fallback — the log manager first consults its
+    frame index, which knows the true boundaries and answers without a
+    byte-by-byte magic search.
+    """
+    magic_bytes = struct.pack("<H", _FRAME_MAGIC)
+    search_from = bad_offset + 1
+    while True:
+        candidate = data.find(magic_bytes, search_from)
+        if candidate < 0:
+            return False
+        try:
+            if read_frame(data, candidate) is not None:
+                return True
+        except LogCorruptionError:
+            pass
+        search_from = candidate + 1
+
+
+def repair_framed_tail(stable_file) -> int:
+    """Truncate a torn trailing frame off a framed stable file.
+
+    ``stable_file`` is any object with ``read()`` / ``truncate(size)``
+    (a :class:`repro.sim.stable_store.StableFile`).  Walks the frames;
+    a corrupt frame with nothing decodable after it is a torn write and
+    is chopped off, while corruption followed by good data is interior
+    damage and raises :class:`LogCorruptionError`.  Returns the size of
+    the repaired file.
+    """
+    data = stable_file.read()
+    last_good = 0
+    try:
+        for __, ___, next_offset in iter_frames(data):
+            last_good = next_offset
+    except LogCorruptionError:
+        if any_frame_after(data, last_good):
+            raise
+        stable_file.truncate(last_good)
+    return last_good

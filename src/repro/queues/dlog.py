@@ -4,7 +4,9 @@ Each resource manager (queue, state store, transaction coordinator)
 owns one of these: an append-only stable file of CRC-framed, tagged
 records, forced on demand against the machine's rotational disk — the
 same storage discipline Phoenix/App's log manager uses, without the
-Phoenix record vocabulary.
+Phoenix record vocabulary.  It shares the log manager's zero-copy
+framing helpers: records encode straight into the volatile buffer and
+the flush hands the stable store a ``memoryview``.
 """
 
 from __future__ import annotations
@@ -12,7 +14,13 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..errors import LogCorruptionError
-from ..log.serialization import Reader, Writer, frame, read_frame
+from ..log.serialization import (
+    Reader,
+    Writer,
+    begin_frame,
+    end_frame,
+    iter_frames,
+)
 from ..sim.machine import Machine
 
 
@@ -32,10 +40,11 @@ class DurableLog:
         self.appends = 0
 
     def append(self, tag: str, value: object) -> None:
-        writer = Writer()
+        header_at = begin_frame(self._buffer)
+        writer = Writer(out=self._buffer)
         writer.text(tag)
         writer.value(value)
-        self._buffer.extend(frame(writer.getvalue()))
+        end_frame(self._buffer, header_at)
         self.appends += 1
 
     def force(self) -> bool:
@@ -43,7 +52,8 @@ class DurableLog:
         if not self._buffer:
             return False
         self.machine.disk.write(self._disk_file, len(self._buffer))
-        self._stable.append(bytes(self._buffer))
+        with memoryview(self._buffer) as view:
+            self._stable.append(view)
         self._buffer.clear()
         self.forces += 1
         return True
@@ -54,15 +64,9 @@ class DurableLog:
 
     def records(self) -> Iterator[tuple[str, object]]:
         """Replay the stable records (torn tails are skipped)."""
-        data = self._stable.read()
-        offset = 0
-        while True:
-            try:
-                result = read_frame(data, offset)
-            except LogCorruptionError:
-                return  # torn tail
-            if result is None:
-                return
-            payload, offset = result
-            reader = Reader(payload)
-            yield reader.text(), reader.value()
+        try:
+            for __, payload, ___ in iter_frames(self._stable.read()):
+                reader = Reader(payload)
+                yield reader.text(), reader.value()
+        except LogCorruptionError:
+            return  # torn tail

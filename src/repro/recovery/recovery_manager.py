@@ -275,10 +275,14 @@ class RecoveryManager:
                     order=self._next_order(), creation=record
                 )
             elif isinstance(record, LastCallReplyRecord):
+                # The record was just decoded by the scan; caching the
+                # reply object now means a later duplicate-detection hit
+                # resolves from memory instead of re-reading the log.
                 process.last_calls.seed(
                     record.caller_key,
                     record.call_id,
                     record.context_id,
+                    reply=record.reply,
                     reply_lsn=lsn,
                 )
             elif isinstance(record, MessageRecord):
@@ -324,10 +328,14 @@ class RecoveryManager:
                 and isinstance(reply, ReplyMessage)
                 and reply.call_id is not None
             ):
+                # Cache the decoded reply alongside its LSN (same memory
+                # profile as normal operation, where record_reply keeps
+                # the reply object) so a retry never re-reads the log.
                 process.last_calls.seed(
                     reply.call_id.caller_key,
                     reply.call_id,
                     context_id,
+                    reply=reply,
                     reply_lsn=lsn,
                 )
         # OUTGOING_CALL records (baseline only) are regenerated by replay.

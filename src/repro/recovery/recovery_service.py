@@ -18,7 +18,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..errors import InvariantViolationError
-from ..log.serialization import Reader, Writer, frame, read_frame
+from ..log.serialization import (
+    Reader,
+    Writer,
+    begin_frame,
+    end_frame,
+    iter_frames,
+    repair_framed_tail,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.process import AppProcess
@@ -47,13 +54,10 @@ class RecoveryService:
     # durable registration table
     # ------------------------------------------------------------------
     def _load_table(self) -> None:
-        data = self._stable.read()
-        offset = 0
-        while True:
-            result = read_frame(data, offset)
-            if result is None:
-                break
-            payload, offset = result
+        # A machine crash can tear the force-write of a registration
+        # mid-frame; repair before reading, exactly like a process log.
+        repair_framed_tail(self._stable)
+        for __, payload, ___ in iter_frames(self._stable.read()):
             reader = Reader(payload)
             name = reader.text()
             pid = reader.signed()
@@ -61,12 +65,14 @@ class RecoveryService:
             self._next_pid = max(self._next_pid, pid + 1)
 
     def _persist_registration(self, name: str, pid: int) -> None:
-        writer = Writer()
+        buffer = bytearray()
+        header_at = begin_frame(buffer)
+        writer = Writer(out=buffer)
         writer.text(name)
         writer.signed(pid)
-        data = frame(writer.getvalue())
-        self.machine.disk.write(self._disk_file, len(data))
-        self._stable.append(data)
+        end_frame(buffer, header_at)
+        self.machine.disk.write(self._disk_file, len(buffer))
+        self._stable.append(buffer)
 
     def register(self, process: "AppProcess") -> int:
         """Assign (or re-assign after a restart) the logical PID."""

@@ -31,8 +31,9 @@ class StableFile:
     def size(self) -> int:
         return len(self._data)
 
-    def append(self, data: bytes) -> int:
-        """Append ``data``; return the offset it was written at."""
+    def append(self, data) -> int:
+        """Append ``data`` (``bytes``, ``bytearray`` or ``memoryview``);
+        return the offset it was written at."""
         offset = len(self._data)
         self._data.extend(data)
         return offset
@@ -47,6 +48,26 @@ class StableFile:
         if length is None:
             return bytes(self._data[offset:])
         return bytes(self._data[offset:offset + length])
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Read exactly ``length`` bytes starting at ``offset``.
+
+        The incremental read API: unlike :meth:`read`, a range that runs
+        past the end of the file is an error rather than a silent short
+        read, so callers (the log manager's frame index) notice stale
+        offsets instead of decoding garbage.
+        """
+        if length < 0:
+            raise InvariantViolationError(
+                f"negative read length {length} on file {self.name!r}"
+            )
+        end = offset + length
+        if offset < 0 or end > len(self._data):
+            raise InvariantViolationError(
+                f"read range [{offset}, {end}) outside file {self.name!r} "
+                f"of size {len(self._data)}"
+            )
+        return bytes(self._data[offset:end])
 
     def overwrite(self, data: bytes) -> None:
         """Atomically replace the whole file (used by well-known files)."""

@@ -152,3 +152,55 @@ class TestDescribe:
         assert "crashes=1" in report
         assert "recoveries=1" in report
         assert "network:" in report
+
+
+class TestForceCoalescer:
+    """Same-instant force requests after a write are counted as
+    coalesced — accounting only, never a change to force behaviour."""
+
+    def _log_and_coalescer(self):
+        from repro.core.process import ForceCoalescer
+        from repro.log import LogManager
+        from repro.sim import Cluster
+
+        cluster = Cluster()
+        machine = cluster.machine("alpha")
+        log = LogManager("p1", machine.disk, machine.stable_store)
+        return log, ForceCoalescer(log, cluster.clock), cluster.clock
+
+    def test_same_instant_empty_force_is_coalesced(self):
+        from repro.log.records import MessageRecord
+
+        log, coalescer, clock = self._log_and_coalescer()
+        log.append(MessageRecord(context_id=1))
+        assert coalescer.force() is True
+        # two more requests at the write's completion instant
+        assert coalescer.force() is False
+        assert coalescer.force() is False
+        assert log.stats.coalesced_forces == 2
+        # delegation is unchanged: both requests still reached the log
+        assert log.stats.forces_requested == 3
+        assert log.stats.forces_performed == 1
+
+    def test_later_empty_force_is_not_coalesced(self):
+        from repro.log.records import MessageRecord
+
+        log, coalescer, clock = self._log_and_coalescer()
+        log.append(MessageRecord(context_id=1))
+        coalescer.force()
+        clock.advance(1.0)
+        assert coalescer.force() is False
+        assert log.stats.coalesced_forces == 0
+
+    def test_empty_force_before_any_write_is_not_coalesced(self):
+        log, coalescer, clock = self._log_and_coalescer()
+        assert coalescer.force() is False
+        assert log.stats.coalesced_forces == 0
+
+    def test_processes_route_forces_through_coalescer(self, runtime):
+        process = runtime.spawn_process("p", machine="alpha")
+        assert process.force_coalescer._log is process.log
+        counter = process.create_component(Counter)
+        counter.increment()
+        # force counts flow into the same LogStats the tables report
+        assert process.log.stats.forces_performed >= 1

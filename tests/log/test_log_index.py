@@ -1,0 +1,165 @@
+"""The log's LSN index and read-path accounting.
+
+The index must stay consistent with the stable file through every event
+that changes it — flush, prefix truncation, volatile wipe (LSN reuse!),
+tail repair, and a fresh manager opening a pre-existing log — and the
+``reads`` / ``bytes_read`` / ``index_hits`` counters must show that point
+reads fetch only their own frame, never the whole log.
+"""
+
+import pytest
+
+from repro.common import MessageKind, MethodCallMessage
+from repro.errors import (
+    InvariantViolationError,
+    LogCorruptionError,
+    SerializationError,
+)
+from repro.log import LogManager, MessageRecord
+from repro.sim import Cluster
+
+
+def record(n: object) -> MessageRecord:
+    return MessageRecord(
+        context_id=1,
+        kind=MessageKind.INCOMING_CALL,
+        message=MethodCallMessage(
+            target_uri="phoenix://alpha/p/1", method="m", args=(n,)
+        ),
+    )
+
+
+@pytest.fixture
+def machine():
+    return Cluster().machine("alpha")
+
+
+@pytest.fixture
+def log(machine):
+    return LogManager("p1", machine.disk, machine.stable_store)
+
+
+def payload_of(rec: MessageRecord) -> object:
+    return rec.message.args[0]
+
+
+class TestPointReadCost:
+    def test_read_record_fetches_only_its_frame(self, log):
+        lsns = [log.append(record(i)) for i in range(100)]
+        log.force()
+        frame_len = lsns[1] - lsns[0]
+        before = log.stats.bytes_read
+        assert payload_of(log.read_record(lsns[50])) == 50
+        assert log.stats.bytes_read - before == frame_len
+        assert log.stats.index_hits >= 1
+
+    def test_scan_from_lsn_reads_only_the_suffix(self, log):
+        lsns = [log.append(record(i)) for i in range(100)]
+        log.force()
+        before = log.stats.bytes_read
+        got = [payload_of(r) for _, r in log.scan(lsns[90])]
+        assert got == list(range(90, 100))
+        assert log.stats.bytes_read - before == log.stable_lsn - lsns[90]
+
+    def test_unindexed_offset_still_errors_like_seed(self, log):
+        lsns = [log.append(record(i)) for i in range(3)]
+        log.force()
+        # an offset inside a frame is not a record boundary
+        with pytest.raises(LogCorruptionError):
+            log.read_record(lsns[1] + 1)
+
+
+class TestTruncatePrefixBoundary:
+    def test_reads_and_scans_across_the_boundary(self, log):
+        lsns = [log.append_and_force(record(i)) for i in range(6)]
+        keep_from = lsns[3]
+        log.truncate_prefix(keep_from)
+        # survivors readable point-wise and via scan
+        for i in (3, 4, 5):
+            assert payload_of(log.read_record(lsns[i])) == i
+        assert [payload_of(r) for _, r in log.scan()] == [3, 4, 5]
+        assert [payload_of(r) for _, r in log.scan(lsns[4])] == [4, 5]
+        # reclaimed LSNs stay rejected
+        with pytest.raises(InvariantViolationError, match="garbage"):
+            log.read_record(lsns[0])
+
+    def test_appends_after_truncation_stay_indexed(self, log):
+        lsns = [log.append_and_force(record(i)) for i in range(4)]
+        log.truncate_prefix(lsns[2])
+        new_lsn = log.append_and_force(record("new"))
+        assert payload_of(log.read_record(new_lsn)) == "new"
+        assert [payload_of(r) for _, r in log.scan()] == [2, 3, "new"]
+
+
+class TestWipeVolatile:
+    def test_lsn_reuse_does_not_leave_stale_index_entries(self, log):
+        log.append_and_force(record("stable"))
+        log.append(record("lost"))  # buffered, dies with the process
+        reused_lsn = log.end_lsn - (log.end_lsn - log.stable_lsn)
+        log.wipe_volatile()
+        # the wiped record's LSN is reused by the next append
+        lsn = log.append(record("after-crash"))
+        assert lsn == reused_lsn == log.stable_lsn
+        log.force()
+        assert payload_of(log.read_record(lsn)) == "after-crash"
+        assert [payload_of(r) for _, r in log.scan()] == [
+            "stable",
+            "after-crash",
+        ]
+
+
+class TestRepairTail:
+    def test_index_consistent_after_torn_tail_repair(self, log):
+        lsns = [log.append_and_force(record(i)) for i in range(3)]
+        stable = log.stable_store.open("p1.log")
+        stable.truncate(stable.size - 3)  # tear the last frame
+        log.repair_tail()
+        for i in (0, 1):
+            assert payload_of(log.read_record(lsns[i])) == i
+        assert [payload_of(r) for _, r in log.scan()] == [0, 1]
+        # the torn record's LSN now points at the stable end: no record
+        with pytest.raises(InvariantViolationError, match="no record"):
+            log.read_record(lsns[2])
+
+    def test_point_reads_after_external_truncate_without_repair(self, log):
+        """Even before repair_tail runs, the index must notice the file
+        shrank instead of serving stale offsets."""
+        lsns = [log.append_and_force(record(i)) for i in range(3)]
+        stable = log.stable_store.open("p1.log")
+        stable.truncate(stable.size - 3)
+        assert payload_of(log.read_record(lsns[0])) == 0
+        with pytest.raises(LogCorruptionError):
+            log.read_record(lsns[2])
+
+
+class TestLazyIndexOverExistingFile:
+    def test_second_manager_reads_what_the_first_wrote(self, machine):
+        first = LogManager("p1", machine.disk, machine.stable_store)
+        lsns = [first.append(record(i)) for i in range(10)]
+        first.force()
+        # a restarted process opens the same stable file cold
+        second = LogManager("p1", machine.disk, machine.stable_store)
+        assert payload_of(second.read_record(lsns[7])) == 7
+        # the lazy build indexed everything: the next point read is a hit
+        hits = second.stats.index_hits
+        assert payload_of(second.read_record(lsns[3])) == 3
+        assert second.stats.index_hits == hits + 1
+
+    def test_flush_onto_unindexed_file_keeps_reads_correct(self, machine):
+        first = LogManager("p1", machine.disk, machine.stable_store)
+        old_lsn = first.append_and_force(record("old"))
+        second = LogManager("p1", machine.disk, machine.stable_store)
+        new_lsn = second.append_and_force(record("new"))
+        assert payload_of(second.read_record(old_lsn)) == "old"
+        assert payload_of(second.read_record(new_lsn)) == "new"
+
+
+class TestAppendExceptionSafety:
+    def test_failed_encode_leaves_no_partial_frame(self, log):
+        log.append(record(0))
+        with pytest.raises(SerializationError):
+            log.append(record(object()))  # not a loggable value type
+        lsn = log.append(record(1))
+        log.force()
+        assert [payload_of(r) for _, r in log.scan()] == [0, 1]
+        assert payload_of(log.read_record(lsn)) == 1

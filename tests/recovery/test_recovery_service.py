@@ -57,3 +57,46 @@ class TestMonitoring:
         service = runtime.cluster.machine("alpha").recovery_service
         service.restart(process)
         assert process.recovery_count == 0
+
+
+class TestRegistrationTableRepair:
+    """The registration table shares the process log's framing — and its
+    torn-tail repair: a machine crash mid-force must not poison the
+    table, while interior corruption must be surfaced, not dropped."""
+
+    def _reload_service(self, runtime):
+        from repro.recovery.recovery_service import RecoveryService
+
+        machine = runtime.cluster.machine("alpha")
+        return RecoveryService(machine, runtime)
+
+    def test_torn_registration_write_is_repaired(self, runtime):
+        runtime.spawn_process("a", machine="alpha")
+        runtime.spawn_process("b", machine="alpha")
+        machine = runtime.cluster.machine("alpha")
+        stable = machine.stable_store.open("recovery-service.log")
+        stable.truncate(stable.size - 2)  # tear b's registration frame
+        service = self._reload_service(runtime)
+        assert service.logical_pid_of("a") == 1
+        # b's torn registration is gone; the pid is free again
+        assert service._table == {"a": 1}
+        assert service._next_pid == 2
+
+    def test_interior_corruption_is_surfaced(self, runtime):
+        from repro.errors import LogCorruptionError
+
+        runtime.spawn_process("a", machine="alpha")
+        runtime.spawn_process("b", machine="alpha")
+        machine = runtime.cluster.machine("alpha")
+        stable = machine.stable_store.open("recovery-service.log")
+        data = bytearray(stable.read())
+        data[12] ^= 0xFF  # flip a payload byte of the FIRST frame
+        stable.overwrite(bytes(data))
+        with pytest.raises(LogCorruptionError):
+            self._reload_service(runtime)
+
+    def test_clean_table_reload_is_unchanged(self, runtime):
+        runtime.spawn_process("a", machine="alpha")
+        runtime.spawn_process("b", machine="beta")
+        service = self._reload_service(runtime)
+        assert service.logical_pid_of("a") == 1
