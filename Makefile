@@ -1,12 +1,31 @@
 # Convenience targets (everything works offline).
 
-.PHONY: install test bench perf report examples all clean
+.PHONY: install test bench perf report examples all clean lint check
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# Protocol-conformance lint (PHX rules) plus ruff/mypy when available.
+# ruff and mypy are optional (pip install -e .[lint]); the AST lint is
+# stdlib-only and always runs.
+lint:
+	PYTHONPATH=src python -m repro.analysis lint src/repro/apps src/repro/core
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+check: lint
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

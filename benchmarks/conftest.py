@@ -16,6 +16,12 @@ from __future__ import annotations
 
 import pytest
 
+# Benchmarks produce the largest logs in the repo; run the protocol-
+# conformance oracle over them too (see repro.analysis.pytest_oracle).
+from repro.analysis.pytest_oracle import (  # noqa: F401
+    protocol_conformance_oracle,
+)
+
 
 def run_experiment(benchmark, experiment, **kwargs):
     """Run an experiment function under pytest-benchmark and print the

@@ -1,0 +1,51 @@
+"""Protocol-conformance analysis.
+
+Two complementary checkers guard the paper's correctness arguments:
+
+* :mod:`repro.analysis.lint` — a static (stdlib-``ast``) pass over
+  component code that flags constructs breaking piece-wise determinism
+  (paper Section 2) or bypassing the logging protocol (Algorithms 1-5).
+  Rules are registered in :mod:`repro.analysis.rules` as ``PHX001``…
+  and support inline ``# phx: disable=PHX00x`` suppression.
+* :mod:`repro.analysis.trace_check` — a post-hoc checker that walks a
+  finished :class:`~repro.log.log_manager.LogManager` stable stream
+  together with the runtime's :class:`~repro.analysis.trace.ProtocolTrace`
+  and asserts the commit conditions (``TRC101``…): sends only leave
+  after a covering force, external message-1/2 records are forced in
+  order, stateless components log nothing, and record sequences are
+  replay-deterministic.
+
+Entry points: the ``repro-analyze`` console script
+(:mod:`repro.analysis.cli`), ``make lint``, and the autouse pytest
+fixture in :mod:`repro.analysis.pytest_oracle` that turns every test's
+logs into a conformance oracle.
+"""
+
+from .lint import Finding, lint_paths, lint_source
+from .rules import RULES, Rule
+from .trace import CrashMark, ProtocolTrace, TraceEvent
+from .trace_check import (
+    INVARIANTS,
+    Violation,
+    check_log,
+    check_process,
+    check_runtime,
+    record_signature,
+)
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+    "Rule",
+    "CrashMark",
+    "ProtocolTrace",
+    "TraceEvent",
+    "INVARIANTS",
+    "Violation",
+    "check_log",
+    "check_process",
+    "check_runtime",
+    "record_signature",
+]

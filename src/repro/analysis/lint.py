@@ -1,0 +1,472 @@
+"""Static determinism/durability lint (stdlib ``ast``, no dependencies).
+
+The linter parses each target file (it never imports it), finds the
+component classes — classes carrying a ``@persistent`` / ``@subordinate``
+/ ``@functional`` / ``@read_only`` decorator, or (transitively)
+inheriting from ``PersistentComponent`` — and checks their methods for
+constructs that break the paper's guarantees.  Module-level rules
+(PHX004/PHX005) apply to the whole file.
+
+Suppression: a ``# phx: disable=PHX001`` (comma-separated IDs, or bare
+``# phx: disable`` for all rules) comment on the offending line, or on
+the ``def`` line of the enclosing function, silences the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from .rules import RULES
+
+#: class decorators that mark a component class -> declared type
+_TYPE_DECORATORS = {
+    "persistent": "persistent",
+    "subordinate": "subordinate",
+    "functional": "functional",
+    "read_only": "read_only",
+}
+
+_STATELESS_TYPES = {"functional", "read_only"}
+
+_COMPONENT_BASE = "PersistentComponent"
+
+#: fully-resolved call targets that are nondeterministic (PHX001)
+_NONDET_PREFIXES = ("random.", "secrets.", "numpy.random.")
+_NONDET_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: fully-resolved call targets that are direct I/O (PHX002)
+_IO_PREFIXES = (
+    "socket.",
+    "subprocess.",
+    "urllib.",
+    "http.client.",
+    "requests.",
+    "shutil.",
+)
+_IO_EXACT = {
+    "open",
+    "input",
+    "print",
+    "io.open",
+    "os.open",
+    "os.read",
+    "os.write",
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.mkdir",
+    "os.makedirs",
+    "os.rmdir",
+    "os.listdir",
+    "os.system",
+    "os.popen",
+}
+
+#: constructors whose direct use bypasses LogManager (PHX004)
+_STABLE_CONSTRUCTORS = {"StableStore", "StableFile", "DurableLog"}
+
+#: ``x.log.<method>(...)`` calls that bypass the process hooks (PHX005)
+_RAW_LOG_METHODS = {"append", "force", "append_and_force"}
+
+_PRAGMA = re.compile(
+    r"#\s*phx:\s*disable(?:\s*=\s*(?P<ids>[A-Z0-9_,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        fixit = RULES[self.rule_id].fixit
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"{self.message} [fix: {fixit}]"
+        )
+
+
+def _suppressions(source: str) -> dict[int, frozenset | None]:
+    """Map line number -> suppressed rule IDs (``None`` = all rules)."""
+    table: dict[int, frozenset | None] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            table[number] = None
+        else:
+            table[number] = frozenset(
+                token.strip() for token in ids.split(",") if token.strip()
+            )
+    return table
+
+
+def _dotted_parts(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+class _ModuleLinter:
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = _suppressions(source)
+        self.findings: list[Finding] = []
+        # alias -> module path, local name -> dotted origin
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        self._collect_imports()
+        # class name -> declared type ("persistent"... or None), for
+        # every component class found in this module
+        self.component_types: dict[str, str | None] = {}
+        self._find_component_classes()
+
+    # -- bookkeeping ---------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    origin = f"{module}.{alias.name}" if module else alias.name
+                    self.names[alias.asname or alias.name] = origin
+
+    def _resolve(self, node: ast.expr) -> str | None:
+        """Resolve a call target to its fully-qualified dotted name."""
+        parts = _dotted_parts(node)
+        if parts is None:
+            return None
+        root = parts[0]
+        if root in self.names:
+            return ".".join([self.names[root], *parts[1:]])
+        if root in self.modules:
+            return ".".join([self.modules[root], *parts[1:]])
+        return ".".join(parts)
+
+    def _find_component_classes(self) -> None:
+        classes = [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        # Iterate to a fixpoint so a class inheriting from a component
+        # class defined later in the file is still recognized.
+        changed = True
+        while changed:
+            changed = False
+            for node in classes:
+                if node.name in self.component_types:
+                    continue
+                declared = self._declared_type(node)
+                is_component = declared is not None
+                for base in node.bases:
+                    parts = _dotted_parts(base)
+                    if parts is None:
+                        continue
+                    if (
+                        parts[-1] == _COMPONENT_BASE
+                        or parts[-1] in self.component_types
+                    ):
+                        is_component = True
+                if is_component:
+                    self.component_types[node.name] = declared
+                    changed = True
+
+    def _declared_type(self, node: ast.ClassDef) -> str | None:
+        for decorator in node.decorator_list:
+            parts = _dotted_parts(decorator)
+            if parts and parts[-1] in _TYPE_DECORATORS:
+                return _TYPE_DECORATORS[parts[-1]]
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def _suppressed(self, rule_id: str, *lines: int) -> bool:
+        for line in lines:
+            if line not in self.suppressions:
+                continue
+            ids = self.suppressions[line]
+            if ids is None or rule_id in ids:
+                return True
+        return False
+
+    def _report(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | None = None,
+    ) -> None:
+        lines = [node.lineno]
+        if func is not None:
+            lines.append(func.lineno)
+        if self._suppressed(rule_id, *lines):
+            return
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, rule_id, message)
+        )
+
+    # -- the pass ------------------------------------------------------
+    def run(self) -> list[Finding]:
+        self._check_module_rules()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in self.component_types:
+                continue
+            declared = self.component_types[node.name]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._check_method(node, declared, item)
+        self.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return self.findings
+
+    # PHX004 / PHX005 apply everywhere in a linted file, not only inside
+    # component classes: infrastructure code can bypass the log manager
+    # too.
+    def _check_module_rules(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if parts is None:
+                continue
+            func = self._enclosing_function(node)
+            if parts[-1] in _STABLE_CONSTRUCTORS:
+                self._report(
+                    "PHX004",
+                    node,
+                    f"direct construction of {parts[-1]} bypasses "
+                    "LogManager",
+                    func,
+                )
+            elif "stable_store" in parts[:-1]:
+                self._report(
+                    "PHX004",
+                    node,
+                    f"direct stable-store call {'.'.join(parts)}() "
+                    "bypasses LogManager",
+                    func,
+                )
+            if (
+                len(parts) >= 2
+                and parts[-1] in _RAW_LOG_METHODS
+                and parts[-2] == "log"
+            ):
+                self._report(
+                    "PHX005",
+                    node,
+                    f"{'.'.join(parts)}() bypasses the process "
+                    "log_append/log_force hooks",
+                    func,
+                )
+
+    def _enclosing_function(
+        self, target: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        # ast has no parent links; a positional scan is cheap enough for
+        # lint-sized files and only used to honor def-line pragmas.
+        best = None
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    node.lineno <= target.lineno
+                    and target in set(ast.walk(node))
+                ):
+                    if best is None or node.lineno > best.lineno:
+                        best = node
+        return best
+
+    def _check_method(
+        self,
+        cls: ast.ClassDef,
+        declared: str | None,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        read_only_method = any(
+            (parts := _dotted_parts(decorator)) is not None
+            and parts[-1] == "read_only_method"
+            for decorator in func.decorator_list
+        )
+        set_vars = self._set_valued_locals(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                self._check_call(cls, func, node)
+            elif isinstance(node, ast.For):
+                self._check_iteration(func, node.iter, set_vars)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    self._check_iteration(func, generator.iter, set_vars)
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._check_self_mutation(
+                    cls, declared, func, node, read_only_method
+                )
+
+    def _check_call(
+        self,
+        cls: ast.ClassDef,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+    ) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in _NONDET_EXACT or resolved.startswith(_NONDET_PREFIXES):
+            self._report(
+                "PHX001",
+                node,
+                f"{resolved}() is nondeterministic; replay of "
+                f"{cls.name}.{func.name} would diverge",
+                func,
+            )
+        elif resolved in _IO_EXACT or resolved.startswith(_IO_PREFIXES):
+            self._report(
+                "PHX002",
+                node,
+                f"{resolved}() performs direct I/O inside "
+                f"{cls.name}.{func.name}",
+                func,
+            )
+
+    @staticmethod
+    def _is_set_expression(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _set_valued_locals(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_set_expression(
+                node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _check_iteration(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        iterable: ast.expr,
+        set_vars: set[str],
+    ) -> None:
+        flagged = self._is_set_expression(iterable) or (
+            isinstance(iterable, ast.Name) and iterable.id in set_vars
+        )
+        if flagged:
+            self._report(
+                "PHX003",
+                iterable,
+                "iteration over an unordered set; element order differs "
+                "between the original run and replay",
+                func,
+            )
+
+    def _check_self_mutation(
+        self,
+        cls: ast.ClassDef,
+        declared: str | None,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Assign | ast.AugAssign | ast.AnnAssign,
+        read_only_method: bool,
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        mutates_self = any(
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            for target in targets
+        )
+        if not mutates_self:
+            return
+        if read_only_method:
+            self._report(
+                "PHX007",
+                node,
+                f"@read_only_method {cls.name}.{func.name} assigns to "
+                "self; Algorithm 5 would not replay the mutation",
+                func,
+            )
+        if declared in _STATELESS_TYPES and func.name != "__init__":
+            self._report(
+                "PHX006",
+                node,
+                f"@{declared} component {cls.name} mutates self in "
+                f"{func.name}(); stateless components are never "
+                "recovered",
+                func,
+            )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text."""
+    return _ModuleLinter(path, source).run()
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and (recursively) directories of ``.py`` files."""
+    findings: list[Finding] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    return findings

@@ -1,0 +1,34 @@
+"""The pytest conformance oracle.
+
+Importing ``protocol_conformance_oracle`` from a ``conftest.py`` turns
+every test in that tree into a protocol-conformance check: after the
+test body runs, the trace checker sweeps the logs of every runtime the
+test created and fails the test on any commit-condition violation.  Mark
+a test ``@pytest.mark.no_conformance_check`` to opt out (e.g. when it
+deliberately corrupts a log).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from . import registry
+from .trace_check import check_runtime
+
+
+@pytest.fixture(autouse=True)
+def protocol_conformance_oracle(request):
+    token = registry.mark()
+    yield
+    if request.node.get_closest_marker("no_conformance_check") is not None:
+        return
+    lines = []
+    for runtime in registry.runtimes_since(token):
+        for process_name, violation in check_runtime(runtime):
+            lines.append(f"  {process_name}: {violation.render()}")
+    if lines:
+        pytest.fail(
+            "protocol conformance violations in this test's logs:\n"
+            + "\n".join(lines),
+            pytrace=False,
+        )

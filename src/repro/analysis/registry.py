@@ -1,0 +1,36 @@
+"""Weak registry of live runtimes, for the pytest conformance oracle.
+
+:class:`~repro.core.runtime.PhoenixRuntime` registers itself here on
+construction; the autouse fixture in :mod:`repro.analysis.pytest_oracle`
+snapshots a token before each test and checks every runtime created
+after it.  References are weak so the registry never extends a
+runtime's lifetime (property-based tests create thousands).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+_registered: "weakref.WeakValueDictionary[int, object]" = (
+    weakref.WeakValueDictionary()
+)
+_next_token = 0
+
+
+def register_runtime(runtime) -> None:
+    global _next_token
+    _registered[_next_token] = runtime
+    _next_token += 1
+
+
+def mark() -> int:
+    """A token: runtimes registered after it are "since" it."""
+    return _next_token
+
+
+def runtimes_since(token: int) -> list:
+    return [
+        runtime
+        for key, runtime in sorted(_registered.items())
+        if key >= token
+    ]

@@ -1,0 +1,85 @@
+"""The conformance rule registry.
+
+Each static lint rule (``PHX``) and each trace invariant (``TRC``) maps
+back to the paper section or algorithm whose guarantee it protects; the
+mapping is documented in ``docs/internals.md`` ("Protocol conformance
+analysis").  Lint rules carry a fix-it message that the CLI prints next
+to every finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static lint rule."""
+
+    rule_id: str
+    title: str
+    fixit: str
+    paper_ref: str
+
+
+_RULES = [
+    Rule(
+        "PHX001",
+        "nondeterministic call in a component method",
+        "derive the value deterministically (pass it in as an argument, "
+        "or read it from the simulated clock/runtime)",
+        "Section 2 (piece-wise determinism; replay must regenerate "
+        "identical executions)",
+    ),
+    Rule(
+        "PHX002",
+        "direct file/socket/process I/O in a component method",
+        "route external actions through a component call so the "
+        "interceptor can log them; raw I/O is invisible to replay",
+        "Sections 2 and 2.4 (interactions must be intercepted messages)",
+    ),
+    Rule(
+        "PHX003",
+        "iteration over an unordered set in a component method",
+        "iterate a list, or wrap the set in sorted(...) so replay visits "
+        "elements in the same order",
+        "Section 2 (piece-wise determinism)",
+    ),
+    Rule(
+        "PHX004",
+        "stable-store or DurableLog write bypassing LogManager",
+        "persist through the process's LogManager (process.log_append / "
+        "log_force); ad-hoc stable writes escape recovery and "
+        "truncation",
+        "Section 4.1 (the log is the single stable representation)",
+    ),
+    Rule(
+        "PHX005",
+        "direct log append/force bypassing the policy force hook",
+        "call process.log_append / process.log_force (which the "
+        "LoggingPolicy and checkpointing drive) instead of touching "
+        "process.log directly",
+        "Algorithms 2/3 commit conditions (policy.py decides every "
+        "force)",
+    ),
+    Rule(
+        "PHX006",
+        "stateless-declared component mutates its own state",
+        "declare the class @persistent (or @subordinate), or remove the "
+        "mutation: functional/read-only components are never recovered, "
+        "so state written to them is silently lost on failure",
+        "Sections 3.2.2/3.2.3 (functional and read-only components are "
+        "stateless and log nothing)",
+    ),
+    Rule(
+        "PHX007",
+        "@read_only_method assigns to self",
+        "drop the read-only attribute or the mutation: Algorithm 5 skips "
+        "logging for read-only calls, so the mutation would not be "
+        "replayed",
+        "Section 3.3 (read-only methods must not change component "
+        "state)",
+    ),
+]
+
+RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}

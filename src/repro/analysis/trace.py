@@ -1,0 +1,105 @@
+"""The protocol trace: an ordered journal of logging decisions.
+
+The stable log alone cannot witness the commit conditions — forces and
+record-less sends (Algorithm 2 writes nothing for messages 2 and 3)
+leave no mark in the stream.  Every :class:`~repro.core.process.AppProcess`
+therefore carries a :class:`ProtocolTrace`, and the
+:class:`~repro.core.policy.LoggingPolicy` appends one :class:`TraceEvent`
+per message it handles, snapshotting the decision it made and the log's
+``end_lsn``/``stable_lsn`` immediately after.  The trace is pure
+observation: it writes nothing, forces nothing, and advances no clocks,
+so force counts and simulated times are untouched.
+
+A process crash discards the log's volatile buffer and *reuses* its LSNs
+(see ``LogManager.wipe_volatile``); :meth:`ProtocolTrace.note_crash`
+records the stable boundary at the crash so the checker can tell which
+traced records were lost rather than missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.messages import MessageKind
+from ..common.types import ComponentType
+
+#: mirrors ``repro.core.tables.NO_LSN`` (kept local: analysis modules do
+#: not import ``repro.core``, which imports them)
+NO_LSN = -1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logging decision, as the policy made it.
+
+    Defaults describe the common case (an optimized persistent context)
+    so tests can construct events tersely.
+    """
+
+    kind: MessageKind
+    context_id: int = 1
+    context_type: ComponentType = ComponentType.PERSISTENT
+    #: the peer's component type: the client for messages 1/2, the
+    #: server for messages 3/4 (``None`` = unknown, treated persistent)
+    peer_type: ComponentType | None = None
+    method_read_only: bool = False
+    #: config snapshot (the expected algorithm depends on it)
+    optimized: bool = True
+    read_only_opt: bool = True
+    #: Section 3.5: this send skipped its force under the multi-call
+    #: optimization (the server's last-call table holds the reply)
+    multicall_skip: bool = False
+    #: the decision
+    wrote_record: bool = False
+    forced: bool = False
+    short: bool = False
+    record_lsn: int = NO_LSN
+    #: log boundaries immediately after the decision executed
+    end_lsn: int = 0
+    stable_lsn: int = 0
+
+
+@dataclass(frozen=True)
+class CrashMark:
+    """The process crashed; volatile records at/above ``stable_lsn``
+    were lost and their LSNs will be reused."""
+
+    stable_lsn: int
+
+
+class ProtocolTrace:
+    """Ordered journal of :class:`TraceEvent` and :class:`CrashMark`."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEvent | CrashMark] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.entries.append(event)
+
+    def note_crash(self, stable_lsn: int) -> None:
+        self.entries.append(CrashMark(stable_lsn))
+
+    def events(self) -> list[TraceEvent]:
+        """All events, in decision order (crash marks elided)."""
+        return [e for e in self.entries if isinstance(e, TraceEvent)]
+
+    def surviving_events(self) -> list[TraceEvent]:
+        """Events whose written records still exist in the stable
+        stream: a crash drops every earlier event whose record sat in
+        the wiped volatile buffer (its LSN is reused afterwards)."""
+        survivors: list[TraceEvent] = []
+        for entry in self.entries:
+            if isinstance(entry, CrashMark):
+                survivors = [
+                    event
+                    for event in survivors
+                    if not (
+                        event.wrote_record
+                        and event.record_lsn >= entry.stable_lsn
+                    )
+                ]
+            else:
+                survivors.append(entry)
+        return survivors

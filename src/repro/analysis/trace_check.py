@@ -1,0 +1,337 @@
+"""Post-hoc log/trace invariant checker.
+
+Consumes a finished :class:`~repro.log.log_manager.LogManager` stable
+stream (via ``scan``, which rides the PR-1 LSN index) plus the process's
+:class:`~repro.analysis.trace.ProtocolTrace` and asserts the paper's
+commit conditions after the fact:
+
+* **TRC101** — Algorithm 2 (Section 3.1.1): a persistent context's
+  receive messages are logged (long, unforced) and nothing leaves the
+  context until the log is stable through the send point: at every
+  committing send event, ``stable_lsn >= end_lsn``.  In the baseline
+  (Algorithm 1) every message is a forced long record.
+* **TRC102** — Algorithm 3 (Section 3.1.2): an external client's
+  message 1 is a forced long record and its message 2 a forced short
+  record, in that order; a short message-2 record with no preceding
+  external message-1 record in its context is a protocol break.
+* **TRC103** — Algorithms 4/5 (Sections 3.2.2-3.3): stateless
+  (functional/read-only) contexts log nothing; calls to functional
+  servers log nothing on either side; a read-only call logs only
+  message 4, long and unforced.
+* **TRC104** — the trace and the stream must agree: every surviving
+  traced record decodes at its LSN with the traced kind/shortness, and
+  every stable ``MessageRecord`` is claimed by a surviving decision.
+* **TRC105** — replay determinism (Section 2): records carrying the
+  same call ID and kind (a retry or replay re-log) must be identical;
+  :func:`record_signature` additionally fingerprints a whole stream for
+  run-vs-run comparison.
+
+Violations carry the invariant ID and the LSN they anchor to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.messages import MessageKind
+from ..common.types import ComponentType
+from ..log.records import MessageRecord
+from .trace import NO_LSN, ProtocolTrace, TraceEvent
+
+INVARIANTS: dict[str, str] = {
+    "TRC101": "Algorithm 2: log receives unforced; force before sends",
+    "TRC102": "Algorithm 3: external message 1/2 forced, in order",
+    "TRC103": "Algorithms 4/5: stateless peers log only message 4, "
+              "unforced",
+    "TRC104": "trace and stable stream agree record-for-record",
+    "TRC105": "replay/retry regenerates identical records",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    invariant: str
+    lsn: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.invariant} @ LSN {self.lsn}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# per-event conformance (TRC101/TRC102/TRC103)
+# ----------------------------------------------------------------------
+def _event_violations(event: TraceEvent) -> list[Violation]:
+    out: list[Violation] = []
+    anchor = event.record_lsn if event.record_lsn != NO_LSN else event.end_lsn
+    kind = event.kind
+
+    def bad(invariant: str, message: str) -> None:
+        out.append(Violation(invariant, anchor, message))
+
+    def expect_nothing(invariant: str, why: str) -> None:
+        if event.wrote_record or event.forced:
+            bad(invariant, f"message {kind.value} must log nothing ({why}) "
+                           f"but wrote_record={event.wrote_record} "
+                           f"forced={event.forced}")
+
+    def expect_record(invariant: str, short: bool, why: str) -> None:
+        if not event.wrote_record or event.short is not short:
+            shape = "short" if short else "long"
+            bad(invariant, f"message {kind.value} requires a {shape} "
+                           f"record ({why}) but wrote_record="
+                           f"{event.wrote_record} short={event.short}")
+
+    def expect_stable(invariant: str, why: str) -> None:
+        if event.stable_lsn < event.end_lsn:
+            bad(invariant, f"message {kind.value} left with "
+                           f"{event.end_lsn - event.stable_lsn} unforced "
+                           f"bytes (stable {event.stable_lsn} < end "
+                           f"{event.end_lsn}): {why}")
+
+    def expect_unforced(invariant: str) -> None:
+        if event.forced:
+            bad(invariant, f"message {kind.value} was forced but the "
+                           "algorithm logs it without forcing")
+
+    if not event.optimized:
+        # Algorithm 1: every message is a forced long record.
+        expect_record("TRC101", short=False, why="Algorithm 1 baseline")
+        if not event.forced:
+            bad("TRC101", f"baseline message {kind.value} was not forced")
+        expect_stable("TRC101", "Algorithm 1 forces every message")
+        return out
+
+    ro_peer = event.peer_type is ComponentType.READ_ONLY or (
+        event.method_read_only and event.read_only_opt
+    )
+    if event.context_type.is_stateless:
+        expect_nothing(
+            "TRC103", "the context is stateless and never recovered"
+        )
+        return out
+
+    if kind is MessageKind.INCOMING_CALL:
+        if ro_peer:
+            expect_nothing("TRC103", "read-only call, Algorithm 5")
+        elif event.peer_type is ComponentType.EXTERNAL:
+            expect_record("TRC102", short=False, why="Algorithm 3")
+            expect_stable("TRC102", "Algorithm 3 forces message 1")
+        else:
+            expect_record("TRC101", short=False, why="Algorithm 2 receive")
+            expect_unforced("TRC101")
+    elif kind is MessageKind.REPLY_TO_INCOMING:
+        if ro_peer:
+            expect_nothing("TRC103", "read-only call, Algorithm 5")
+        elif event.peer_type is ComponentType.EXTERNAL:
+            expect_record("TRC102", short=True, why="Algorithm 3")
+            expect_stable("TRC102", "Algorithm 3 forces message 2")
+        else:
+            if event.wrote_record:
+                bad("TRC101", "Algorithm 2 writes no record for "
+                              "message 2 (replay re-creates the reply)")
+            expect_stable(
+                "TRC101", "the reply send commits the server's state"
+            )
+    elif kind is MessageKind.OUTGOING_CALL:
+        if event.peer_type is ComponentType.FUNCTIONAL:
+            expect_nothing("TRC103", "functional server, Algorithm 4")
+        elif ro_peer:
+            expect_nothing("TRC103", "read-only server, Algorithm 5")
+        elif event.multicall_skip:
+            expect_nothing(
+                "TRC103", "multi-call skip, Section 3.5"
+            )
+        else:
+            if event.wrote_record:
+                bad("TRC101", "Algorithm 2 writes no record for "
+                              "message 3")
+            expect_stable(
+                "TRC101", "the outgoing call commits the caller's state"
+            )
+    elif kind is MessageKind.REPLY_FROM_OUTGOING:
+        if event.peer_type is ComponentType.FUNCTIONAL:
+            expect_nothing("TRC103", "functional server, Algorithm 4")
+        else:
+            invariant = "TRC103" if ro_peer else "TRC101"
+            expect_record(
+                invariant,
+                short=False,
+                why="Algorithm 5 logs the unrepeatable reply"
+                if ro_peer
+                else "Algorithm 2 receive",
+            )
+            expect_unforced(invariant)
+    return out
+
+
+# ----------------------------------------------------------------------
+# stream-only checks (TRC102 ordering, TRC105 identity)
+# ----------------------------------------------------------------------
+def _stream_violations(
+    records: list[tuple[int, object]], complete_history: bool = True
+) -> list[Violation]:
+    out: list[Violation] = []
+    # TRC102: a short message-2 record pairs with a preceding external
+    # message-1 record in the same context.  (Short records exist only
+    # in the optimized system, so this is inert on baseline logs.)
+    # Only checkable on a complete stream: log truncation legitimately
+    # drops a message-1 record while its short reply survives.
+    pending_external: dict[int, int | None] = {}
+    # TRC105: same (kind, call_id) -> identical message payload.
+    seen: dict[tuple, tuple[int, object]] = {}
+    for lsn, record in records:
+        if not isinstance(record, MessageRecord):
+            continue
+        context_id = record.context_id
+        if (
+            record.kind is MessageKind.INCOMING_CALL
+            and record.message is not None
+            and record.message.call_id is None
+        ):
+            pending_external[context_id] = lsn
+        elif record.kind is MessageKind.REPLY_TO_INCOMING and record.short:
+            if pending_external.get(context_id) is None and complete_history:
+                out.append(Violation(
+                    "TRC102", lsn,
+                    f"short message-2 record in context {context_id} "
+                    "has no preceding external message-1 record",
+                ))
+            else:
+                pending_external[context_id] = None
+        if record.message is not None:
+            call_id = getattr(record.message, "call_id", None)
+            if call_id is not None:
+                key = (record.kind, call_id)
+                if key in seen:
+                    first_lsn, first_message = seen[key]
+                    if first_message != record.message:
+                        out.append(Violation(
+                            "TRC105", lsn,
+                            f"message {record.kind.value} for call "
+                            f"{call_id} differs from the copy at LSN "
+                            f"{first_lsn}; replay is not regenerating "
+                            "identical messages",
+                        ))
+                else:
+                    seen[key] = (lsn, record.message)
+    return out
+
+
+# ----------------------------------------------------------------------
+# trace <-> stream cross-check (TRC104)
+# ----------------------------------------------------------------------
+def _cross_check(
+    events: list[TraceEvent],
+    records: list[tuple[int, object]],
+    base_lsn: int,
+    stable_lsn: int,
+) -> list[Violation]:
+    out: list[Violation] = []
+    by_lsn = {
+        lsn: record
+        for lsn, record in records
+        if isinstance(record, MessageRecord)
+    }
+    claimed: set[int] = set()
+    for event in events:
+        if not event.wrote_record or event.record_lsn == NO_LSN:
+            continue
+        if event.record_lsn < base_lsn:
+            continue  # truncated away by log garbage collection
+        if event.record_lsn >= stable_lsn:
+            continue  # still volatile; nothing to check on disk
+        record = by_lsn.get(event.record_lsn)
+        if record is None:
+            out.append(Violation(
+                "TRC104", event.record_lsn,
+                f"traced message-{event.kind.value} record is missing "
+                "from the stable stream",
+            ))
+            continue
+        claimed.add(event.record_lsn)
+        if (
+            record.kind is not event.kind
+            or bool(record.short) is not event.short
+            or record.context_id != event.context_id
+        ):
+            out.append(Violation(
+                "TRC104", event.record_lsn,
+                f"stable record (message {record.kind.value}, "
+                f"short={record.short}, context {record.context_id}) "
+                f"does not match the traced decision (message "
+                f"{event.kind.value}, short={event.short}, context "
+                f"{event.context_id})",
+            ))
+    for lsn, record in by_lsn.items():
+        if lsn not in claimed:
+            out.append(Violation(
+                "TRC104", lsn,
+                f"stable message-{record.kind.value} record was not "
+                "produced by any surviving policy decision",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def check_log(log, trace: ProtocolTrace | None = None) -> list[Violation]:
+    """Check one finished log (and its trace, when available)."""
+    try:
+        records = list(log.scan(log.base_lsn))
+    except Exception:
+        # A torn tail awaiting recovery's repair pass: the stream is not
+        # finished, so there is nothing to assert yet.
+        records = None
+    violations: list[Violation] = []
+    if records is not None:
+        violations.extend(
+            _stream_violations(records, complete_history=log.base_lsn == 0)
+        )
+    if trace is not None:
+        for event in trace.events():
+            violations.extend(_event_violations(event))
+        if records is not None:
+            violations.extend(_cross_check(
+                trace.surviving_events(), records,
+                log.base_lsn, log.stable_lsn,
+            ))
+    violations.sort(key=lambda v: (v.lsn, v.invariant))
+    return violations
+
+
+def check_process(process) -> list[Violation]:
+    return check_log(process.log, getattr(process, "protocol_trace", None))
+
+
+def check_runtime(runtime) -> list[tuple[str, Violation]]:
+    """Check every process of a runtime; returns (process name,
+    violation) pairs."""
+    problems: list[tuple[str, Violation]] = []
+    for process in runtime.processes():
+        for violation in check_process(process):
+            problems.append((process.name, violation))
+    return problems
+
+
+def record_signature(log) -> tuple:
+    """A deterministic fingerprint of a stable stream, for run-vs-run
+    comparison: two identical executions must produce equal
+    signatures."""
+    signature = []
+    for lsn, record in log.scan(log.base_lsn):
+        if isinstance(record, MessageRecord):
+            message = record.message
+            signature.append((
+                lsn,
+                "Message",
+                record.kind.value,
+                bool(record.short),
+                record.context_id,
+                repr(getattr(message, "call_id", None)),
+                getattr(message, "method", None),
+            ))
+        else:
+            signature.append((lsn, type(record).__name__))
+    return tuple(signature)

@@ -198,6 +198,14 @@ class Context:
         self.current_call = None
         self.incoming_calls_handled += 1
 
+    def abort_incoming(self) -> None:
+        """Unwind a serving frame that died mid-call (a crash signal
+        passed through it).  The call never completed, so it does not
+        count as handled; clearing ``busy`` lets the caller's retry of
+        the SAME call ID back in instead of looking re-entrant."""
+        self.busy = False
+        self.current_call = None
+
     # ------------------------------------------------------------------
     # replay support
     # ------------------------------------------------------------------

@@ -163,22 +163,32 @@ class MessageInterceptor:
         runtime = self._runtime
         context.begin_incoming(message)
         runtime.push_context(context)
-        runtime.fire_hook("method.before", self._process, context)
-        value: object = None
-        failure: Exception | None = None
         try:
-            bound = getattr(context.parent, message.method)
-            args = unswizzle_for_message(message.args, runtime)
-            kwargs = dict(unswizzle_for_message(message.kwargs, runtime))
-            value = bound(*args, **kwargs)
-        except ApplicationError as exc:
-            failure = exc
-        except Exception as exc:  # app bug, not a component failure
-            failure = exc
+            runtime.fire_hook("method.before", self._process, context)
+            value: object = None
+            failure: Exception | None = None
+            try:
+                bound = getattr(context.parent, message.method)
+                args = unswizzle_for_message(message.args, runtime)
+                kwargs = dict(unswizzle_for_message(message.kwargs, runtime))
+                value = bound(*args, **kwargs)
+            except ApplicationError as exc:
+                failure = exc
+            except Exception as exc:  # app bug, not a component failure
+                failure = exc
+            runtime.fire_hook("method.after", self._process, context)
+            return self._build_reply(message, value, failure)
+        except BaseException:
+            # A crash signal (this process's or a caller further down the
+            # stack) is unwinding through this serving frame.  The frame
+            # is dead: restore the context's serving invariants so the
+            # retried call is not mistaken for re-entrancy, and pop the
+            # execution stack so the caller's next outgoing call is not
+            # attributed to this crashed context.
+            context.abort_incoming()
+            raise
         finally:
             runtime.pop_context()
-        runtime.fire_hook("method.after", self._process, context)
-        return self._build_reply(message, value, failure)
 
     def _build_reply(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..analysis.trace import TraceEvent
 from ..common.messages import (
     MessageKind,
     MethodCallMessage,
@@ -103,10 +104,58 @@ class LoggingPolicy:
         )
         return context.process.log_append(record)
 
+    def _trace(
+        self,
+        context: "Context",
+        kind: MessageKind,
+        peer_type: ComponentType | None,
+        method_read_only: bool,
+        decision: LogDecision,
+        multicall_skip: bool = False,
+    ) -> LogDecision:
+        """Journal the decision on the process's protocol trace (pure
+        observation: the conformance checker replays these against the
+        stable stream; see ``repro.analysis``)."""
+        trace = getattr(context.process, "protocol_trace", None)
+        if trace is not None:
+            log = context.process.log
+            trace.record(TraceEvent(
+                kind=kind,
+                context_id=context.context_id,
+                context_type=context.component_type,
+                peer_type=peer_type,
+                method_read_only=method_read_only,
+                optimized=self.config.optimized_logging,
+                read_only_opt=self.config.read_only_method_optimization,
+                multicall_skip=multicall_skip,
+                wrote_record=decision.wrote_record,
+                forced=decision.forced,
+                short=decision.short,
+                record_lsn=decision.record_lsn,
+                end_lsn=log.end_lsn,
+                stable_lsn=log.stable_lsn,
+            ))
+        return decision
+
     # ------------------------------------------------------------------
     # message 1: incoming method call (server side)
     # ------------------------------------------------------------------
     def on_incoming_call(
+        self,
+        context: "Context",
+        message: MethodCallMessage,
+        client_type: ComponentType,
+        method_read_only: bool,
+    ) -> LogDecision:
+        decision = self._incoming_call(
+            context, message, client_type, method_read_only
+        )
+        return self._trace(
+            context, MessageKind.INCOMING_CALL, client_type,
+            method_read_only, decision,
+        )
+
+    def _incoming_call(
         self,
         context: "Context",
         message: MethodCallMessage,
@@ -135,6 +184,21 @@ class LoggingPolicy:
     # message 2: reply to the incoming call (server side)
     # ------------------------------------------------------------------
     def on_reply_send(
+        self,
+        context: "Context",
+        reply: ReplyMessage,
+        client_type: ComponentType,
+        method_read_only: bool,
+    ) -> LogDecision:
+        decision = self._reply_send(
+            context, reply, client_type, method_read_only
+        )
+        return self._trace(
+            context, MessageKind.REPLY_TO_INCOMING, client_type,
+            method_read_only, decision,
+        )
+
+    def _reply_send(
         self,
         context: "Context",
         reply: ReplyMessage,
@@ -173,17 +237,35 @@ class LoggingPolicy:
         server_type: ComponentType | None,
         method_read_only: bool,
     ) -> LogDecision:
+        decision, multicall_skip = self._outgoing_call(
+            context, message, server_type, method_read_only
+        )
+        return self._trace(
+            context, MessageKind.OUTGOING_CALL, server_type,
+            method_read_only, decision, multicall_skip=multicall_skip,
+        )
+
+    def _outgoing_call(
+        self,
+        context: "Context",
+        message: MethodCallMessage,
+        server_type: ComponentType | None,
+        method_read_only: bool,
+    ) -> tuple[LogDecision, bool]:
         if not self.config.optimized_logging:
             lsn = self._append(context, MessageKind.OUTGOING_CALL, message)
             context.process.log_force()
-            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+            return (
+                LogDecision(wrote_record=True, forced=True, record_lsn=lsn),
+                False,
+            )
         if self._stateless_context(context):
-            return LogDecision.nothing()  # stateless caller logs nothing
+            return LogDecision.nothing(), False  # stateless caller
         if server_type is ComponentType.FUNCTIONAL:
-            return LogDecision.nothing()  # Algorithm 4
+            return LogDecision.nothing(), False  # Algorithm 4
         if self._treat_read_only(server_type, method_read_only):
             # Algorithm 5: a call to a read-only target commits nothing.
-            return LogDecision.nothing()
+            return LogDecision.nothing(), False
         # Persistent or unknown server: the send commits our state.
         if self.config.multicall_optimization:
             current = context.current_call
@@ -194,15 +276,30 @@ class LoggingPolicy:
                 if not first and not repeat:
                     # Section 3.5: the server's last-call table holds the
                     # reply persistently; no force needed here.
-                    return LogDecision.nothing()
+                    return LogDecision.nothing(), True
                 current.forced_once = True
         forced = context.process.log_force()
-        return LogDecision(forced=forced)
+        return LogDecision(forced=forced), False
 
     # ------------------------------------------------------------------
     # message 4: reply from the outgoing call (client side)
     # ------------------------------------------------------------------
     def on_reply_from_outgoing(
+        self,
+        context: "Context",
+        reply: ReplyMessage,
+        server_type: ComponentType | None,
+        method_read_only: bool,
+    ) -> LogDecision:
+        decision = self._reply_from_outgoing(
+            context, reply, server_type, method_read_only
+        )
+        return self._trace(
+            context, MessageKind.REPLY_FROM_OUTGOING, server_type,
+            method_read_only, decision,
+        )
+
+    def _reply_from_outgoing(
         self,
         context: "Context",
         reply: ReplyMessage,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING
 
+from ..analysis.trace import ProtocolTrace
 from ..common.ids import component_uri
 from ..common.types import ComponentType
 from ..errors import (
@@ -101,6 +102,9 @@ class AppProcess:
             f"{machine.name}-{name}", machine.disk, machine.stable_store
         )
         self.force_coalescer = ForceCoalescer(self.log, runtime.clock)
+        # Observation-only journal of logging decisions; the conformance
+        # checker (repro.analysis) replays it against the stable stream.
+        self.protocol_trace = ProtocolTrace()
 
         self.context_table: dict[int, ContextTableEntry] = {}
         self.component_table: dict[int, ComponentTableEntry] = {}
@@ -124,7 +128,7 @@ class AppProcess:
     # ------------------------------------------------------------------
     def log_append(self, record) -> int:
         self.runtime.clock.advance(self.runtime.costs.log_buffer_write)
-        lsn = self.log.append(record)
+        lsn = self.log.append(record)  # phx: disable=PHX005
         self._maybe_publish_checkpoint()
         return lsn
 
@@ -402,6 +406,9 @@ class AppProcess:
         self.state = ProcessState.CRASHED
         self.crash_count += 1
         self.log.wipe_volatile()
+        # Volatile records above the stable boundary are gone and their
+        # LSNs will be reused; tell the conformance trace.
+        self.protocol_trace.note_crash(self.log.stable_lsn)
         for entry in self.context_table.values():
             entry.context_ref = None
         self.context_table = {}

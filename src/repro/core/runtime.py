@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..analysis.registry import register_runtime
 from ..common.ids import parse_uri
 from ..common.messages import MethodCallMessage, ReplyMessage
 from ..common.types import ComponentType
@@ -80,6 +81,8 @@ class PhoenixRuntime:
 
         for machine in self.cluster.machines():
             machine.recovery_service = RecoveryService(machine, self)
+
+        register_runtime(self)  # for the pytest conformance oracle
 
     # ------------------------------------------------------------------
     # deployment

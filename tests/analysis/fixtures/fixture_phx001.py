@@ -1,0 +1,25 @@
+"""Seeded violation: nondeterministic call in a component method.
+
+Lint input only — never imported by the test suite.
+"""
+
+import random
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+
+
+@persistent
+class Jittery(PersistentComponent):
+    def __init__(self):
+        self.samples = []
+
+    def sample(self):
+        value = random.random()  # expect: PHX001
+        self.samples.append(value)
+        return value
+
+    def sample_suppressed(self):
+        value = random.random()  # phx: disable=PHX001
+        self.samples.append(value)
+        return value

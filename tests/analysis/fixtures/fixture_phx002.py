@@ -1,0 +1,23 @@
+"""Seeded violation: direct file I/O in a component method.
+
+Lint input only — never imported by the test suite.
+"""
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+
+
+@persistent
+class Leaky(PersistentComponent):
+    def __init__(self):
+        self.written = 0
+
+    def snapshot(self, path):
+        with open(path, "w") as handle:  # expect: PHX002
+            handle.write("state")
+        self.written += 1
+
+    def snapshot_suppressed(self, path):
+        with open(path, "w") as handle:  # phx: disable=PHX002
+            handle.write("state")
+        self.written += 1

@@ -1,0 +1,26 @@
+"""Seeded violation: iteration over an unordered set feeding a reply.
+
+Lint input only — never imported by the test suite.
+"""
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+
+
+@persistent
+class Shuffled(PersistentComponent):
+    def __init__(self):
+        self.names = ["a", "b"]
+
+    def roster(self):
+        members = {"x", "y", "z"}
+        return [name for name in members]  # expect: PHX003
+
+    def roster_sorted(self):
+        # clean: sorted() pins the order before iteration
+        return [name for name in sorted({"x", "y", "z"})]
+
+    def roster_suppressed(self):
+        for name in {"p", "q"}:  # phx: disable=PHX003
+            self.names.append(name)
+        return self.names

@@ -1,0 +1,25 @@
+"""Seeded violation: stable-store writes bypassing LogManager.
+
+Lint input only — never imported by the test suite.
+"""
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+from repro.sim.stable_store import StableStore
+
+
+@persistent
+class Hoarder(PersistentComponent):
+    def __init__(self, machine):
+        self.machine = machine
+
+    def stash(self, name):
+        store = StableStore(self.machine)  # expect: PHX004
+        return store
+
+    def stash_suppressed(self, name):
+        return StableStore(self.machine)  # phx: disable=PHX004
+
+
+def raw_stable_write(machine, name, payload):
+    return machine.stable_store.open(name)  # expect: PHX004

@@ -1,0 +1,16 @@
+"""Seeded violation: direct log calls skipping the policy force hook.
+
+Lint input only — never imported by the test suite.
+"""
+
+
+def sneak_append(process, record):
+    return process.log.append(record)  # expect: PHX005
+
+
+def sneak_force(process):
+    return process.log.force()  # expect: PHX005
+
+
+def sanctioned_force(process):
+    return process.log.force()  # phx: disable=PHX005

@@ -1,0 +1,21 @@
+"""Seeded violation: a stateless-declared component mutating itself.
+
+Lint input only — never imported by the test suite.
+"""
+
+from repro.core.attributes import functional
+from repro.core.component import PersistentComponent
+
+
+@functional
+class Memoizer(PersistentComponent):
+    def __init__(self):
+        self.last = None  # allowed: construction
+
+    def remember(self, value):
+        self.last = value  # expect: PHX006
+        return value
+
+    def remember_suppressed(self, value):
+        self.last = value  # phx: disable=PHX006
+        return value

@@ -1,0 +1,24 @@
+"""Seeded violation: a @read_only_method that assigns to self.
+
+Lint input only — never imported by the test suite.
+"""
+
+from repro.core.attributes import persistent, read_only_method
+from repro.core.component import PersistentComponent
+
+
+@persistent
+class Ledger(PersistentComponent):
+    def __init__(self):
+        self.reads = 0
+        self.total = 0
+
+    @read_only_method
+    def peek(self):
+        self.reads += 1  # expect: PHX007
+        return self.total
+
+    @read_only_method
+    def peek_suppressed(self):
+        self.reads += 1  # phx: disable=PHX007
+        return self.total

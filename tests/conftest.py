@@ -4,6 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+# Autouse conformance oracle: after every test, the trace checker sweeps
+# the logs of all runtimes the test created (opt out with
+# @pytest.mark.no_conformance_check).
+from repro.analysis.pytest_oracle import (  # noqa: F401
+    protocol_conformance_oracle,
+)
+
 from repro import (
     CheckpointConfig,
     PersistentComponent,
