@@ -1,6 +1,7 @@
 # Convenience targets (everything works offline).
 
-.PHONY: install test bench perf report examples all clean lint check
+.PHONY: install test bench perf report examples all clean lint check \
+	sweep sweep-smoke
 
 install:
 	python setup.py develop
@@ -26,6 +27,16 @@ lint:
 
 check: lint
 	PYTHONPATH=src python -m pytest -x -q
+
+# Deterministic crash-point sweep (docs/internals.md section 9): every
+# durability boundary of every workload, crash -> recover -> compare
+# against the fault-free golden run.  `sweep` is the full nightly pass;
+# `sweep-smoke` is the sampled per-push subset (~100 points, seconds).
+sweep:
+	PYTHONPATH=src python -m repro.faults sweep
+
+sweep-smoke:
+	PYTHONPATH=src python -m repro.faults sweep --torn-stride 8 --stride 4
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -57,6 +57,9 @@ class TraceEvent:
     #: log boundaries immediately after the decision executed
     end_lsn: int = 0
     stable_lsn: int = 0
+    #: a crash unwound out of this decision's force: the record (if any)
+    #: was appended but the message never left the process
+    interrupted: bool = False
 
 
 @dataclass(frozen=True)

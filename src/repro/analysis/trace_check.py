@@ -62,6 +62,12 @@ class Violation:
 # per-event conformance (TRC101/TRC102/TRC103)
 # ----------------------------------------------------------------------
 def _event_violations(event: TraceEvent) -> list[Violation]:
+    if event.interrupted:
+        # A crash unwound out of this decision's force: no message left
+        # the process, so the commit conditions are vacuous here.  The
+        # cross-check below still verifies the appended record (if it
+        # survived the crash) against the decision.
+        return []
     out: list[Violation] = []
     anchor = event.record_lsn if event.record_lsn != NO_LSN else event.end_lsn
     kind = event.kind

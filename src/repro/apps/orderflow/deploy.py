@@ -14,6 +14,9 @@ class OrderflowApp:
     runtime: PhoenixRuntime
     desk_process: AppProcess
     backend_process: AppProcess
+    #: with ``split_backend`` the ledger tier's own process, else the
+    #: shared ``backend_process``
+    ledger_process: AppProcess = None
     desk: object = None
     inventory: object = None
     ledger: object = None
@@ -21,10 +24,13 @@ class OrderflowApp:
     fraud: object = None
 
     def total_forces(self) -> int:
-        return (
+        total = (
             self.desk_process.log.stats.forces_performed
             + self.backend_process.log.stats.forces_performed
         )
+        if self.ledger_process is not self.backend_process:
+            total += self.ledger_process.log.stats.forces_performed
+        return total
 
 
 def deploy_orderflow(
@@ -34,9 +40,17 @@ def deploy_orderflow(
     multicall: bool = False,
     desk_machine: str = "alpha",
     backend_machine: str = "beta",
+    split_backend: bool = False,
 ) -> OrderflowApp:
     """Two processes: the order desk on one machine, the backend tier
-    (inventory, ledger, pricing, fraud) on the other."""
+    (inventory, ledger, pricing, fraud) on the other.
+
+    ``split_backend`` gives the ledger tier (ledger, pricing, fraud)
+    its own process, so the desk's fan-out crosses two distinct server
+    processes — the deployment shape the Section 3.5 multi-call skip
+    applies to (co-hosted servers share one last-call slot per caller
+    and must force every call).
+    """
     if runtime is None:
         config = RuntimeConfig.optimized(multicall_optimization=multicall)
         runtime = PhoenixRuntime(config=config)
@@ -52,9 +66,16 @@ def deploy_orderflow(
     inventory = backend.create_component(
         Inventory, args=(dict(stock or DEFAULT_STOCK),)
     )
-    ledger = backend.create_component(CustomerLedger, args=(credit_limit,))
-    pricing = backend.create_component(PricingEngine)
-    fraud = backend.create_component(FraudScreen, args=(ledger,))
+    ledger_process = (
+        runtime.spawn_process("orderflow-ledger", machine=backend_machine)
+        if split_backend
+        else backend
+    )
+    ledger = ledger_process.create_component(
+        CustomerLedger, args=(credit_limit,)
+    )
+    pricing = ledger_process.create_component(PricingEngine)
+    fraud = ledger_process.create_component(FraudScreen, args=(ledger,))
 
     desk_process = runtime.spawn_process("orderflow-desk", machine=desk_machine)
     desk = desk_process.create_component(
@@ -64,6 +85,7 @@ def deploy_orderflow(
         runtime=runtime,
         desk_process=desk_process,
         backend_process=backend,
+        ledger_process=ledger_process,
         desk=desk,
         inventory=inventory,
         ledger=ledger,

@@ -343,10 +343,14 @@ def multicall_ablation(
             runtime = PhoenixRuntime(config=config)
             runtime.external_client_machine = "alpha"
             client_process = runtime.spawn_process("grabber", machine="beta")
-            server_process = runtime.spawn_process("stores", machine="beta")
+            # one process per server: the skip is per server *process*
+            # (a repeat call into the same process evicts the earlier
+            # call's last-call entry and must force again)
             servers = [
-                server_process.create_component(PingServer)
-                for _ in range(count)
+                runtime.spawn_process(
+                    f"store{i}", machine="beta"
+                ).create_component(PingServer)
+                for i in range(count)
             ]
             client = client_process.create_component(
                 FanoutClient, args=(servers,)

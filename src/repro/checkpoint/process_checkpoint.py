@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.tables import NO_LSN
+from ..faults import plane as faultplane
 from ..log.records import (
     BeginCheckpointRecord,
     CheckpointContextEntry,
@@ -52,6 +53,7 @@ def take_process_checkpoint(process: "AppProcess") -> tuple[int, int]:
     flushed by a later force (see ``AppProcess.set_pending_checkpoint``).
     """
     begin_lsn = process.log_append(BeginCheckpointRecord(context_id=-1))
+    faultplane.site_hit(f"checkpoint.begin:{process.name}", process.name)
 
     context_entries = [
         CheckpointContextEntry(
@@ -95,5 +97,6 @@ def take_process_checkpoint(process: "AppProcess") -> tuple[int, int]:
     end_lsn = process.log_append(
         EndCheckpointRecord(context_id=-1, begin_lsn=begin_lsn)
     )
+    faultplane.site_hit(f"checkpoint.end:{process.name}", process.name)
     process.set_pending_checkpoint(begin_lsn, end_lsn)
     return begin_lsn, end_lsn

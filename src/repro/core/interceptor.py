@@ -469,9 +469,19 @@ class MessageInterceptor:
         )
         entry = None
         if track:
-            entry = self._process.last_calls.begin_call(
-                message.call_id, context.context_id
+            # Replay runs in log order per context, but the process-wide
+            # table holds one entry per caller: another context's restore
+            # may already have seeded a *newer* call from this caller.
+            # Replaying an older call must rebuild state without
+            # regressing that entry — the caller has moved past this
+            # call, so only the newer reply can still be retried.
+            existing = self._process.last_calls.lookup(
+                message.call_id.caller_key
             )
+            if existing is None or existing.call_id.seq <= message.call_id.seq:
+                entry = self._process.last_calls.begin_call(
+                    message.call_id, context.context_id
+                )
         reply = self._execute(message)
         if entry is not None:
             self._process.last_calls.record_reply(message.call_id, reply)

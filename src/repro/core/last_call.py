@@ -96,6 +96,12 @@ class LastCallTable:
         """Store the reply for the last call of ``call_id``'s client."""
         entry = self._entries.get(call_id.caller_key)
         if entry is None or entry.call_id != call_id:
+            if entry is not None and entry.call_id.seq > call_id.seq:
+                # A newer call from this caller is already tabled (e.g.
+                # recovery replaying an older context's last call after a
+                # state-record restore seeded the newer entry); condition
+                # 3 keeps only the last call per client — never regress.
+                return entry
             # Recovery can legitimately record a reply for a call whose
             # begin was never registered in this incarnation.
             entry = LastCallEntry(

@@ -38,6 +38,7 @@ from ..common.messages import (
     ReplyMessage,
 )
 from ..common.types import ComponentType
+from ..faults import plane as faultplane
 from ..log.records import MessageRecord
 from .config import RuntimeConfig
 from .tables import NO_LSN
@@ -58,6 +59,22 @@ class LogDecision:
     @classmethod
     def nothing(cls) -> "LogDecision":
         return cls()
+
+
+class _InterruptedDecision(BaseException):
+    """A crash signal unwound out of a decision's force.
+
+    The decision had already appended its record, which may have reached
+    stable storage before the crash — the trace must still witness it,
+    or the conformance checker would find a stable record no surviving
+    decision claims.  Carries the partial decision and the original
+    signal; never escapes the policy's ``on_*`` wrappers.
+    """
+
+    def __init__(self, decision: LogDecision, signal: BaseException):
+        super().__init__("decision interrupted by crash signal")
+        self.decision = decision
+        self.signal = signal
 
 
 class LoggingPolicy:
@@ -104,6 +121,17 @@ class LoggingPolicy:
         )
         return context.process.log_append(record)
 
+    @staticmethod
+    def _force_for(context: "Context", decision: LogDecision) -> None:
+        """Force the log on behalf of a decision that already appended
+        its record, converting a crash out of the force into
+        :class:`_InterruptedDecision` so the appended record is still
+        traced."""
+        try:
+            context.process.log_force()
+        except BaseException as signal:
+            raise _InterruptedDecision(decision, signal) from None
+
     def _trace(
         self,
         context: "Context",
@@ -112,6 +140,7 @@ class LoggingPolicy:
         method_read_only: bool,
         decision: LogDecision,
         multicall_skip: bool = False,
+        interrupted: bool = False,
     ) -> LogDecision:
         """Journal the decision on the process's protocol trace (pure
         observation: the conformance checker replays these against the
@@ -134,6 +163,7 @@ class LoggingPolicy:
                 record_lsn=decision.record_lsn,
                 end_lsn=log.end_lsn,
                 stable_lsn=log.stable_lsn,
+                interrupted=interrupted,
             ))
         return decision
 
@@ -147,9 +177,16 @@ class LoggingPolicy:
         client_type: ComponentType,
         method_read_only: bool,
     ) -> LogDecision:
-        decision = self._incoming_call(
-            context, message, client_type, method_read_only
-        )
+        try:
+            decision = self._incoming_call(
+                context, message, client_type, method_read_only
+            )
+        except _InterruptedDecision as exc:
+            self._trace(
+                context, MessageKind.INCOMING_CALL, client_type,
+                method_read_only, exc.decision, interrupted=True,
+            )
+            raise exc.signal from None
         return self._trace(
             context, MessageKind.INCOMING_CALL, client_type,
             method_read_only, decision,
@@ -165,8 +202,11 @@ class LoggingPolicy:
         if not self.config.optimized_logging:
             # Algorithm 1: log message 1, force.
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
-            context.process.log_force()
-            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+            decision = LogDecision(
+                wrote_record=True, forced=True, record_lsn=lsn
+            )
+            self._force_for(context, decision)
+            return decision
         if self._stateless_context(context):
             return LogDecision.nothing()  # Algorithms 4/5: stateless server
         if self._treat_read_only(client_type, method_read_only):
@@ -174,8 +214,11 @@ class LoggingPolicy:
         if client_type is ComponentType.EXTERNAL:
             # Algorithm 3: long record, force all messages.
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
-            context.process.log_force()
-            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+            decision = LogDecision(
+                wrote_record=True, forced=True, record_lsn=lsn
+            )
+            self._force_for(context, decision)
+            return decision
         # Algorithm 2: log without forcing.
         lsn = self._append(context, MessageKind.INCOMING_CALL, message)
         return LogDecision(wrote_record=True, record_lsn=lsn)
@@ -190,9 +233,16 @@ class LoggingPolicy:
         client_type: ComponentType,
         method_read_only: bool,
     ) -> LogDecision:
-        decision = self._reply_send(
-            context, reply, client_type, method_read_only
-        )
+        try:
+            decision = self._reply_send(
+                context, reply, client_type, method_read_only
+            )
+        except _InterruptedDecision as exc:
+            self._trace(
+                context, MessageKind.REPLY_TO_INCOMING, client_type,
+                method_read_only, exc.decision, interrupted=True,
+            )
+            raise exc.signal from None
         return self._trace(
             context, MessageKind.REPLY_TO_INCOMING, client_type,
             method_read_only, decision,
@@ -207,21 +257,29 @@ class LoggingPolicy:
     ) -> LogDecision:
         if not self.config.optimized_logging:
             lsn = self._append(context, MessageKind.REPLY_TO_INCOMING, reply)
-            context.process.log_force()
-            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+            decision = LogDecision(
+                wrote_record=True, forced=True, record_lsn=lsn
+            )
+            self._force_for(context, decision)
+            return decision
         if self._stateless_context(context):
             return LogDecision.nothing()  # Algorithms 4/5: stateless server
         if self._treat_read_only(client_type, method_read_only):
             return LogDecision.nothing()  # Algorithm 5
         if client_type is ComponentType.EXTERNAL:
-            # Algorithm 3: short record (identity only), force.
+            # Algorithm 3: short record (identity only), force.  A crash
+            # in this window — message 1 forced, message 2 not yet — is
+            # the paper's window of vulnerability for external clients.
+            name = context.process.name
+            faultplane.site_hit(f"alg3.pre_reply:{name}", name)
             lsn = self._append(
                 context, MessageKind.REPLY_TO_INCOMING, reply, short=True
             )
-            context.process.log_force()
-            return LogDecision(
+            decision = LogDecision(
                 wrote_record=True, forced=True, short=True, record_lsn=lsn
             )
+            self._force_for(context, decision)
+            return decision
         # Algorithm 2: no record — the reply is re-creatable by replay —
         # but everything before the send must be stable.
         forced = context.process.log_force()
@@ -237,9 +295,16 @@ class LoggingPolicy:
         server_type: ComponentType | None,
         method_read_only: bool,
     ) -> LogDecision:
-        decision, multicall_skip = self._outgoing_call(
-            context, message, server_type, method_read_only
-        )
+        try:
+            decision, multicall_skip = self._outgoing_call(
+                context, message, server_type, method_read_only
+            )
+        except _InterruptedDecision as exc:
+            self._trace(
+                context, MessageKind.OUTGOING_CALL, server_type,
+                method_read_only, exc.decision, interrupted=True,
+            )
+            raise exc.signal from None
         return self._trace(
             context, MessageKind.OUTGOING_CALL, server_type,
             method_read_only, decision, multicall_skip=multicall_skip,
@@ -254,11 +319,11 @@ class LoggingPolicy:
     ) -> tuple[LogDecision, bool]:
         if not self.config.optimized_logging:
             lsn = self._append(context, MessageKind.OUTGOING_CALL, message)
-            context.process.log_force()
-            return (
-                LogDecision(wrote_record=True, forced=True, record_lsn=lsn),
-                False,
+            decision = LogDecision(
+                wrote_record=True, forced=True, record_lsn=lsn
             )
+            self._force_for(context, decision)
+            return decision, False
         if self._stateless_context(context):
             return LogDecision.nothing(), False  # stateless caller
         if server_type is ComponentType.FUNCTIONAL:
@@ -270,9 +335,16 @@ class LoggingPolicy:
         if self.config.multicall_optimization:
             current = context.current_call
             if current is not None:
-                repeat = message.target_uri in current.servers_called
+                # The last-call table is per *process* and keeps one
+                # entry per caller, so a second call into an
+                # already-visited process evicts the earlier call's
+                # stored reply — the skip is only sound for the first
+                # call into each server process (Section 3.5's "server"
+                # is the process, not the component).
+                server = message.target_uri.rsplit("/", 1)[0]
+                repeat = server in current.servers_called
                 first = not current.forced_once
-                current.servers_called.add(message.target_uri)
+                current.servers_called.add(server)
                 if not first and not repeat:
                     # Section 3.5: the server's last-call table holds the
                     # reply persistently; no force needed here.
@@ -291,9 +363,16 @@ class LoggingPolicy:
         server_type: ComponentType | None,
         method_read_only: bool,
     ) -> LogDecision:
-        decision = self._reply_from_outgoing(
-            context, reply, server_type, method_read_only
-        )
+        try:
+            decision = self._reply_from_outgoing(
+                context, reply, server_type, method_read_only
+            )
+        except _InterruptedDecision as exc:
+            self._trace(
+                context, MessageKind.REPLY_FROM_OUTGOING, server_type,
+                method_read_only, exc.decision, interrupted=True,
+            )
+            raise exc.signal from None
         return self._trace(
             context, MessageKind.REPLY_FROM_OUTGOING, server_type,
             method_read_only, decision,
@@ -310,8 +389,11 @@ class LoggingPolicy:
             lsn = self._append(
                 context, MessageKind.REPLY_FROM_OUTGOING, reply
             )
-            context.process.log_force()
-            return LogDecision(wrote_record=True, forced=True, record_lsn=lsn)
+            decision = LogDecision(
+                wrote_record=True, forced=True, record_lsn=lsn
+            )
+            self._force_for(context, decision)
+            return decision
         if self._stateless_context(context):
             return LogDecision.nothing()  # stateless caller logs nothing
         if server_type is ComponentType.FUNCTIONAL:

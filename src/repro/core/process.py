@@ -24,6 +24,7 @@ from ..errors import (
     ConfigurationError,
     DeploymentError,
 )
+from ..faults import plane as faultplane
 from ..log.log_manager import LogManager
 from ..log.records import CreationRecord
 from .attributes import declared_type
@@ -147,6 +148,9 @@ class AppProcess:
         if self.log.stable_lsn > end_lsn:
             self.log.write_well_known_lsn(begin_lsn)
             self._pending_checkpoint = None
+            faultplane.site_hit(
+                f"checkpoint.publish.before_truncate:{self.name}", self.name
+            )
             if self.config.checkpoint.truncate_log:
                 self.collect_log_garbage()
 

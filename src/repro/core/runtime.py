@@ -286,7 +286,17 @@ class PhoenixRuntime:
                 # the SAME method call ID.
                 self.clock.advance(self.costs.retry_backoff)
                 if self.config.auto_recover:
-                    self.ensure_recovered(process)
+                    try:
+                        self.ensure_recovered(process)
+                    except CrashSignal as signal:
+                        # The server crashed again while recovering.  If
+                        # the signal is the caller's own (a cascade), it
+                        # must keep unwinding; otherwise crash the target
+                        # and let the next attempt re-run its recovery.
+                        target = getattr(signal, "process", None)
+                        if target is None or target is caller_ctx.process:
+                            raise
+                        target.crash()
 
     @staticmethod
     def _caller_is_dead(caller_ctx: Context) -> bool:

@@ -84,6 +84,25 @@ class RecoveryError(PhoenixError):
     """Recovery could not restore a process or context from its log."""
 
 
+class PartialWriteError(PhoenixError):
+    """A stable-store append persisted only a prefix of its payload.
+
+    Models the torn write of a crash that lands mid-``write``: the bytes
+    up to the cut are durable, the rest never reached the platter.  Fault
+    injection arms this one write at a time
+    (:meth:`repro.sim.stable_store.StableFile.arm_partial_write`).
+    """
+
+    def __init__(self, name: str, persisted: int, requested: int):
+        super().__init__(
+            f"partial write to {name!r}: {persisted} of {requested} "
+            "bytes persisted"
+        )
+        self.name = name
+        self.persisted = persisted
+        self.requested = requested
+
+
 class CrashSignal(BaseException):
     """Internal control-flow signal raised at an injected crash point.
 

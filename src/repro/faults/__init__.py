@@ -1,0 +1,32 @@
+"""Deterministic crash-point sweep harness.
+
+Instruments the durability-relevant boundaries of the runtime with named
+crash *sites* (:mod:`repro.faults.plane`), enumerates the crash *points*
+a workload actually passes through on a fault-free golden run
+(:mod:`repro.faults.plan`), and re-executes the workload once per point,
+asserting recovery restores byte-identical state with exactly-once
+semantics (:mod:`repro.faults.sweep`).
+
+Only :mod:`.plane` is imported eagerly: the instrumented runtime modules
+(log, core, checkpoint, recovery, queues) import it, so pulling in the
+workloads here would be an import cycle.  Import ``repro.faults.plan``,
+``.workloads`` and ``.sweep`` directly where needed.
+"""
+
+from .plane import (
+    CrashSpec,
+    FaultPlane,
+    active_plane,
+    install_plane,
+    installed,
+    uninstall_plane,
+)
+
+__all__ = [
+    "CrashSpec",
+    "FaultPlane",
+    "active_plane",
+    "install_plane",
+    "installed",
+    "uninstall_plane",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.faults`` == ``repro-faults``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

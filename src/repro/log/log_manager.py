@@ -38,7 +38,12 @@ from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
-from ..errors import InvariantViolationError, LogCorruptionError
+from ..errors import (
+    InvariantViolationError,
+    LogCorruptionError,
+    PartialWriteError,
+)
+from ..faults import plane as faultplane
 from ..sim.disk import RotationalDisk
 from ..sim.stable_store import StableFile, StableStore
 from .records import LogRecord, decode_record, encode_record_into
@@ -180,15 +185,32 @@ class LogManager:
         self.stats.forces_requested += 1
         if not self._buffer:
             return False
+        name = self.process_name
+        faultplane.site_hit(f"log.force.before:{name}", name)
         self._flush(count_as_force=True)
+        faultplane.site_hit(f"log.force.after:{name}", name)
         return True
 
     def _flush(self, count_as_force: bool) -> None:
         nbytes = len(self._buffer)
         flush_offset = self._stable.size
+        site = f"log.flush:{self.process_name}"
+        cut = faultplane.flush_cut(site, nbytes, self.process_name)
+        if cut is not None:
+            self._stable.arm_partial_write(cut)
         self.disk.write(self._disk_file, nbytes)
-        with memoryview(self._buffer) as view:
-            self._stable.append(view)
+        try:
+            with memoryview(self._buffer) as view:
+                self._stable.append(view)
+        except PartialWriteError:
+            # The crash landed inside this write: a torn frame (or a bare
+            # slice of a frame header) is now the stable tail.  Nothing is
+            # promoted into the LSN index — the index must never point
+            # past what repair_tail will keep — and the process dies here.
+            signal = faultplane.torn_signal(site, self.process_name)
+            if signal is None:
+                raise
+            raise signal from None
         # Promote the buffered records' index entries now that they are
         # stable.  If older stable bytes are not indexed yet (a manager
         # opened over a pre-existing file), index them first so the

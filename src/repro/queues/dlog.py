@@ -13,13 +13,15 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from ..errors import LogCorruptionError
+from ..errors import LogCorruptionError, PartialWriteError
+from ..faults import plane as faultplane
 from ..log.serialization import (
     Reader,
     Writer,
     begin_frame,
     end_frame,
     iter_frames,
+    repair_framed_tail,
 )
 from ..sim.machine import Machine
 
@@ -51,16 +53,39 @@ class DurableLog:
         """Flush buffered records with one unbuffered disk write."""
         if not self._buffer:
             return False
-        self.machine.disk.write(self._disk_file, len(self._buffer))
-        with memoryview(self._buffer) as view:
-            self._stable.append(view)
+        nbytes = len(self._buffer)
+        faultplane.site_hit(f"qforce.before:{self.name}")
+        cut = faultplane.flush_cut(f"qlog.flush:{self.name}", nbytes)
+        if cut is not None:
+            self._stable.arm_partial_write(cut)
+        self.machine.disk.write(self._disk_file, nbytes)
+        try:
+            with memoryview(self._buffer) as view:
+                self._stable.append(view)
+        except PartialWriteError:
+            signal = faultplane.torn_signal(f"qlog.flush:{self.name}")
+            if signal is None:
+                raise
+            raise signal from None
         self._buffer.clear()
         self.forces += 1
+        faultplane.site_hit(f"qforce.after:{self.name}")
         return True
 
     def wipe_volatile(self) -> None:
         """A crash loses whatever was not forced."""
         self._buffer.clear()
+
+    def repair_tail(self) -> int:
+        """Truncate a torn tail left by a crash mid-force.
+
+        Without this, a later append would land *after* the torn bytes
+        and :meth:`records` — which stops at the first undecodable
+        frame — would silently hide every record behind the tear.
+        Resource managers call this on their crash path, before
+        replaying the log.  Returns the repaired stable size.
+        """
+        return repair_framed_tail(self._stable)
 
     def records(self) -> Iterator[tuple[str, object]]:
         """Replay the stable records (torn tails are skipped)."""

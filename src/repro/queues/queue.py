@@ -74,6 +74,12 @@ class RecoverableQueue:
     def peek_ids(self) -> list[int]:
         return list(self._ready)
 
+    def peek_payloads(self) -> list[object]:
+        """The committed, ready payloads in FIFO order (non-destructive;
+        crash drivers use this to tell a lost operation from one whose
+        commit record survived)."""
+        return list(self._ready.values())
+
     # ------------------------------------------------------------------
     # participant protocol
     # ------------------------------------------------------------------
@@ -126,6 +132,7 @@ class RecoverableQueue:
     def crash(self) -> None:
         """Lose everything volatile: staged work and unforced records."""
         self.log.wipe_volatile()
+        self.log.repair_tail()
         self._staged.clear()
         self._ready.clear()
         self._recover()

@@ -74,6 +74,7 @@ class DurableStateStore:
     # ------------------------------------------------------------------
     def crash(self) -> None:
         self.log.wipe_volatile()
+        self.log.repair_tail()
         self._staged.clear()
         self._data.clear()
         self._recover()

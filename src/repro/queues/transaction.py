@@ -136,6 +136,18 @@ class TransactionCoordinator:
         txn.state = TxnState.ABORTED
         self.aborts += 1
 
+    def crash(self) -> None:
+        """Lose the volatile buffer; repair the log; resume transaction
+        IDs past every decision on the stable log so a recovered
+        coordinator never reuses an ID a participant may still hold an
+        in-doubt prepare for."""
+        self.log.wipe_volatile()
+        self.log.repair_tail()
+        committed = self.committed_txns()
+        self._next_txn_id = max(
+            self._next_txn_id, max(committed, default=0) + 1
+        )
+
     def committed_txns(self) -> set[int]:
         """Transaction IDs with a forced commit decision on the log
         (used by participants for in-doubt resolution)."""

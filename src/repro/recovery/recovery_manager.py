@@ -37,6 +37,7 @@ from ..core.interceptor import MessageInterceptor
 from ..core.swizzle import unswizzle_for_message
 from ..core.tables import ContextTableEntry, NO_LSN
 from ..errors import RecoveryError
+from ..faults import plane as faultplane
 from ..log.records import (
     BeginCheckpointRecord,
     CheckpointContextTableRecord,
@@ -95,19 +96,35 @@ class RecoveryManager:
     def recover(self) -> None:
         process = self.process
         runtime = self.runtime
+        name = process.name
         runtime.clock.advance(runtime.costs.runtime_init)
-        process.log.repair_tail()
+        repaired = process.log.repair_tail()
+        # A torn write leaves partial frame bytes in the stable file, so
+        # the crash mark taken at crash time (from the raw file size)
+        # can sit past what repair just kept.  Re-mark at the repaired
+        # boundary: records in the torn region are gone and their LSNs
+        # will be reused.
+        process.protocol_trace.note_crash(repaired)
+        # Pass-boundary crash sites: a second crash while recovery itself
+        # is running must leave a log from which a fresh recovery still
+        # reaches the same state (crash-during-recovery cascades).
+        faultplane.site_hit(f"recovery.start:{name}", name)
         process.active_recovery = self
 
         try:
             discoveries = self._pass_one()
+            faultplane.site_hit(f"recovery.pass1:{name}", name)
             self._restore_saved_contexts(discoveries)
+            faultplane.site_hit(f"recovery.restored:{name}", name)
             self._pass_two(discoveries)
+            faultplane.site_hit(f"recovery.pass2:{name}", name)
             self._drain_all()
+            faultplane.site_hit(f"recovery.drained:{name}", name)
             # Make everything recovery produced (including effects of
             # live-continued calls) stable before declaring the process
             # recovered.
             process.log.force()
+            faultplane.site_hit(f"recovery.done:{name}", name)
         finally:
             process.active_recovery = None
         if process.context_table:

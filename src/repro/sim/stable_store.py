@@ -14,7 +14,7 @@ of a crash, which exercises the log's CRC framing.
 
 from __future__ import annotations
 
-from ..errors import InvariantViolationError
+from ..errors import InvariantViolationError, PartialWriteError
 
 
 class StableFile:
@@ -23,6 +23,7 @@ class StableFile:
     def __init__(self, name: str):
         self.name = name
         self._data = bytearray()
+        self._partial_cut: int | None = None
 
     def __len__(self) -> int:
         return len(self._data)
@@ -31,10 +32,24 @@ class StableFile:
     def size(self) -> int:
         return len(self._data)
 
+    def arm_partial_write(self, cut: int) -> None:
+        """Make the *next* :meth:`append` persist only ``cut`` bytes and
+        raise :class:`~repro.errors.PartialWriteError` (one-shot)."""
+        if cut < 0:
+            raise InvariantViolationError(
+                f"negative partial-write cut {cut} on file {self.name!r}"
+            )
+        self._partial_cut = cut
+
     def append(self, data) -> int:
         """Append ``data`` (``bytes``, ``bytearray`` or ``memoryview``);
         return the offset it was written at."""
         offset = len(self._data)
+        if self._partial_cut is not None:
+            cut = min(self._partial_cut, len(data))
+            self._partial_cut = None
+            self._data.extend(bytes(data)[:cut])
+            raise PartialWriteError(self.name, cut, len(data))
         self._data.extend(data)
         return offset
 

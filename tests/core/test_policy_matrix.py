@@ -226,9 +226,13 @@ class TestMulticall:
             )
             runtime = PhoenixRuntime(config=config)
             runtime.external_client_machine = "alpha"
-            server_process = runtime.spawn_process("srv", machine="beta")
+            # one process per server — the multi-call skip is sound
+            # only across distinct server processes
             servers = [
-                server_process.create_component(PingServer) for _ in range(4)
+                runtime.spawn_process(
+                    f"srv{i}", machine="beta"
+                ).create_component(PingServer)
+                for i in range(4)
             ]
             client_process = runtime.spawn_process("cli", machine="beta")
             client = client_process.create_component(

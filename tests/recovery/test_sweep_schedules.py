@@ -1,0 +1,112 @@
+"""Named crash-point schedules, pinned as tier-1 regression tests.
+
+Each test re-runs one schedule the crash-point sweep flushed a real bug
+out of, via the same ``CrashPoint.parse`` -> ``run_point`` round trip a
+developer uses to reproduce a sweep failure from its report line (see
+docs/internals.md section 9).  The full sweep covers hundreds of points
+nightly; these are the ones that found recovery-edge bugs, kept on the
+per-push path so the specific regressions cannot come back silently.
+
+The oracle per point: the armed specs fired, the workload completed,
+TRC101-105 hold on every log, replies and component state are
+byte-identical to a fault-free golden run, and crashing everything and
+recovering *again* reproduces that same state.
+"""
+
+import pytest
+
+from repro.faults.plan import CrashPoint
+from repro.faults.sweep import run_point
+from repro.faults.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Fault-free outcomes, one per workload (shared: they are what
+    every schedule is compared against)."""
+    return {name: WORKLOADS[name]() for name in ("bookstore", "orderflow")}
+
+
+def run_schedule(point_id: str, golden) -> None:
+    point = CrashPoint.parse(point_id)
+    result = run_point(point, golden[point.workload])
+    assert result.ok, "\n".join([point.point_id, *result.failures])
+
+
+class TestNamedSchedules:
+    def test_drain_must_not_regress_the_last_call_table(self, golden):
+        """Server crash after the force that covered its last-served
+        call: pass 2's drain then replays another context's buffered
+        OLDER call from the same caller.  Rebuilding that call's state
+        must not overwrite the newer last-call entry — doing so made the
+        caller's retry miss duplicate detection and double-execute
+        (basket count 3 instead of 2)."""
+        run_schedule("bookstore:log.force.after:beta-bookstore-app@4", golden)
+
+    def test_multicall_skip_is_per_server_process(self, golden):
+        """Desk crash between its two backend calls: the Section 3.5
+        skip had keyed 'repeat server' by component URI, so the second
+        call into the SAME backend process skipped its force while the
+        first call's reply lived only in the last-call slot the second
+        call evicts.  Replay then re-sent the older call and the backend
+        raised 'incoming call is older than the last call'."""
+        run_schedule(
+            "orderflow:log.force.before:alpha-orderflow-desk@2", golden
+        )
+
+    def test_crash_mark_tracks_the_repaired_tail(self, golden):
+        """Torn driver flush: the crash mark taken at crash time used
+        the raw stable size, which includes the torn partial bytes.
+        Repair truncates below that mark, so a record appended after
+        recovery reused an LSN the trace still believed stable — TRC104
+        then saw two decisions claim one record.  The mark must be
+        re-taken at the repaired boundary."""
+        run_schedule("orderflow:log.flush:alpha-sweep-driver@6+865B", golden)
+
+
+class TestSecondCrashDuringRecovery:
+    """Satellite: a second crash at every recovery pass boundary.
+
+    The replies pass 1 cached (reply records, state-record snapshots)
+    must be invalidated and rebuilt by the SECOND recovery, not served
+    stale — the oracle's recover-twice byte-identity catches any leak.
+    """
+
+    @pytest.mark.parametrize(
+        "boundary", ["pass1", "restored", "pass2", "drained"]
+    )
+    def test_force_crash_then_crash_in_recovery(self, golden, boundary):
+        run_schedule(
+            "bookstore:log.force.before:alpha-sweep-driver@13"
+            f"/recovery.{boundary}:sweep-driver@1",
+            golden,
+        )
+
+    def test_torn_tail_then_crash_in_pass2(self, golden):
+        """The nastiest composite: the first crash leaves a torn tail,
+        and the second crash interrupts pass 2 of its repair — the
+        third recovery must re-repair and still replay to the same
+        bytes."""
+        run_schedule(
+            "orderflow:log.flush:alpha-orderflow-desk@11+9B"
+            "/recovery.pass2:orderflow-desk@1",
+            golden,
+        )
+
+
+class TestCheckpointTruncationBoundary:
+    """Satellite: crash after the checkpoint published but BEFORE the
+    log truncated.  Recovery then sees both the checkpoint and the
+    context-state records it superseded; applying a state record on top
+    of the newer checkpoint state (or vice versa) double-applies."""
+
+    @pytest.mark.parametrize(
+        "point_id",
+        [
+            "bookstore:checkpoint.publish.before_truncate:bookstore-app@1",
+            "bookstore:checkpoint.publish.before_truncate:sweep-driver@2",
+            "orderflow:checkpoint.publish.before_truncate:orderflow-backend@1",
+        ],
+    )
+    def test_no_double_apply_before_truncation(self, golden, point_id):
+        run_schedule(point_id, golden)
