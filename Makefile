@@ -1,7 +1,7 @@
 # Convenience targets (everything works offline).
 
-.PHONY: install test bench perf report examples all clean lint check \
-	sweep sweep-smoke
+.PHONY: install test bench perf report examples all clean lint infer \
+	check sweep sweep-smoke
 
 install:
 	python setup.py develop
@@ -25,7 +25,13 @@ lint:
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
 
-check: lint
+# Whole-program type-inference gate: every component declaration in the
+# deployed apps must match the inferred cheapest safe type (PHX010-012),
+# modulo explicit pragmas.  Runs in well under ten seconds.
+infer:
+	PYTHONPATH=src python -m repro.analysis infer --check src/repro/apps
+
+check: lint infer
 	PYTHONPATH=src python -m pytest -x -q
 
 # Deterministic crash-point sweep (docs/internals.md section 9): every

@@ -11,6 +11,7 @@ from repro.bench.ablations import (
     force_combining_ablation,
     log_gc_ablation,
     short_record_ablation,
+    static_type_seeding_ablation,
 )
 
 from conftest import run_experiment
@@ -52,3 +53,12 @@ def bench_log_gc(benchmark, measured):
     on_reclaimed = measured(table, "gc on")[1]
     assert on_size < off_size / 10  # the log stays bounded
     assert on_reclaimed > 0
+
+
+def bench_static_type_seeding(benchmark, measured):
+    table = run_experiment(benchmark, static_type_seeding_ablation)
+    off = measured(table, "seeding off")
+    on = measured(table, "seeding on")
+    assert on[0] < off[0]  # fewer cold-start force requests
+    assert on[1] == 0 and off[1] > 0  # no unknown-peer calls when seeded
+    assert on[2] < off[2]  # omitted attachments shrink the log

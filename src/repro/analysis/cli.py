@@ -2,9 +2,17 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run the static determinism/durability lint
-  (default targets: ``src/repro/apps`` and ``src/repro/core``); exits
-  non-zero when findings remain.
+* ``lint [paths...] [--format text|json|sarif]`` — run the static
+  determinism/durability lint (default targets: ``src/repro/apps`` and
+  ``src/repro/core``); exits non-zero when findings remain.
+* ``infer [paths...] [--check] [--format text|json]`` — whole-program
+  component-type inference: classify every component class into the
+  cheapest safe type and report PHX010/PHX011/PHX012 disagreements
+  with the declarations.  ``--check`` is the CI gate: exit non-zero on
+  any finding.
+* ``cost [paths...] [--format json|text]`` — the static force/record
+  cost model: predicted logging cost per exported call path under
+  Algorithms 1-5 and the Section 3.5 multi-call rule.
 * ``rules`` — list every PHX lint rule and TRC trace invariant with its
   paper reference.
 * ``trace-demo`` — run a small crash/recover workload and print the
@@ -15,6 +23,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -23,24 +32,190 @@ from .rules import RULES
 from .trace_check import INVARIANTS
 
 _DEFAULT_TARGETS = ("src/repro/apps", "src/repro/core")
+#: inference/cost work on deployed components; core has none
+_DEFAULT_INFER_TARGETS = ("src/repro/apps",)
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    paths = [Path(p) for p in (args.paths or _DEFAULT_TARGETS)]
+def _resolve_paths(raw: list[str], defaults: tuple[str, ...]) -> list[Path] | None:
+    paths = [Path(p) for p in (raw or defaults)]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(
             f"repro-analyze: no such path: {', '.join(map(str, missing))}",
             file=sys.stderr,
         )
-        return 2
-    findings = lint_paths(paths)
+        return None
+    return paths
+
+
+def _sarif(findings) -> dict:
+    """Minimal SARIF 2.1.0 document for editor/CI ingestion."""
+    rule_ids = sorted({finding.rule_id for finding in findings})
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "informationUri": "https://example.invalid/repro-analyze",
+                "rules": [
+                    {
+                        "id": rule_id,
+                        "shortDescription": {"text": RULES[rule_id].title},
+                        "help": {"text": RULES[rule_id].fixit},
+                    }
+                    for rule_id in rule_ids
+                    if rule_id in RULES
+                ],
+            }},
+            "results": [
+                {
+                    "ruleId": finding.rule_id,
+                    "level": "error",
+                    "message": {"text": finding.message},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": str(finding.path)},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        },
+                    }],
+                }
+                for finding in findings
+            ],
+        }],
+    }
+
+
+def _emit_findings(findings, fmt: str, clean_message: str) -> int:
+    if fmt == "json":
+        print(json.dumps(
+            {"findings": [finding.to_dict() for finding in findings]},
+            indent=2,
+        ))
+        return 1 if findings else 0
+    if fmt == "sarif":
+        print(json.dumps(_sarif(findings), indent=2))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render())
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"clean: {', '.join(map(str, paths))}")
+    print(clean_message)
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = _resolve_paths(args.paths, _DEFAULT_TARGETS)
+    if paths is None:
+        return 2
+    findings = lint_paths(paths)
+    return _emit_findings(
+        findings, args.format, f"clean: {', '.join(map(str, paths))}"
+    )
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from .infer import run_inference
+    from .model import ProgramModel, iter_py_files
+
+    paths = _resolve_paths(args.paths, _DEFAULT_INFER_TARGETS)
+    if paths is None:
+        return 2
+    model = ProgramModel.from_paths(list(iter_py_files(paths)))
+    result = run_inference(model)
+    if args.check:
+        for finding in result.findings:
+            print(finding.render())
+        if result.findings:
+            print(
+                f"infer --check: {len(result.findings)} finding(s) over "
+                f"{', '.join(map(str, paths))}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"infer --check: clean — {len(result.reports)} component "
+            f"class(es) match their declarations"
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 1 if result.findings else 0
+    header = (
+        f"{'class':32s} {'declared':12s} {'inferred':12s} "
+        f"{'agrees':6s} processes"
+    )
+    print(header)
+    print("-" * len(header))
+    for report in result.reports:
+        print(
+            f"{report.info.name:32s} {report.declared or '-':12s} "
+            f"{report.inferred:12s} "
+            f"{'yes' if report.agrees else 'NO':6s} "
+            f"{', '.join(sorted(report.processes)) or '-'}"
+        )
+    print()
+    for finding in result.findings:
+        print(finding.render())
+    disagreeing = sum(1 for report in result.reports if not report.agrees)
+    if result.findings:
+        print(
+            f"{len(result.findings)} finding(s), {disagreeing} "
+            "class(es) disagree with their declaration",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"all {len(result.reports)} component class(es) agree with "
+        "their declarations"
+    )
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from .infer.costmodel import build_cost_model
+    from .model import ProgramModel, iter_py_files
+
+    paths = _resolve_paths(args.paths, _DEFAULT_INFER_TARGETS)
+    if paths is None:
+        return 2
+    cost_model = build_cost_model(
+        ProgramModel.from_paths(list(iter_py_files(paths)))
+    )
+    report = cost_model.report()
+    report["force_bounds"] = cost_model.force_bounds().to_dict()
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return 0
+    header = (
+        f"{'entry path':44s} {'baseline':>10s} {'optimized':>10s} "
+        f"{'multicall':>10s} loops"
+    )
+    print(header)
+    print("-" * len(header))
+    for path in report["paths"]:
+        name = f"{path['entry']}.{path['method']}()"
+        baseline = path["baseline"]
+        optimized = path["optimized"]
+        print(
+            f"{name:44s} "
+            f"{baseline['forces']:>4d}f/{baseline['records']:>3d}r "
+            f"{optimized['forces']:>4d}f/{optimized['records']:>3d}r "
+            f"{-path['multicall_saved_forces']:>+9d}f "
+            f"{path['loop_edges']}"
+        )
+    print(
+        "\nper one external invocation; loop edges priced for a single "
+        "iteration\nmulticall column: forces saved per call when "
+        "Section 3.5 is enabled"
+    )
     return 0
 
 
@@ -102,7 +277,42 @@ def main(argv: list[str] | None = None) -> int:
 
     lint_parser = sub.add_parser("lint", help="run the static lint")
     lint_parser.add_argument("paths", nargs="*", help="files or dirs")
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    infer_parser = sub.add_parser(
+        "infer", help="whole-program component-type inference"
+    )
+    infer_parser.add_argument("paths", nargs="*", help="files or dirs")
+    infer_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit non-zero on any PHX010/011/012 finding",
+    )
+    infer_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    infer_parser.set_defaults(func=_cmd_infer)
+
+    cost_parser = sub.add_parser(
+        "cost", help="static force/record cost model per call path"
+    )
+    cost_parser.add_argument("paths", nargs="*", help="files or dirs")
+    cost_parser.add_argument(
+        "--format",
+        choices=("json", "text"),
+        default="json",
+        help="output format (default: json; machine-readable)",
+    )
+    cost_parser.set_defaults(func=_cmd_cost)
 
     rules_parser = sub.add_parser("rules", help="list rules/invariants")
     rules_parser.set_defaults(func=_cmd_rules)

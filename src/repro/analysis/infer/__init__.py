@@ -1,0 +1,34 @@
+"""Whole-program component-type inference and static force-cost model.
+
+Submodules:
+
+* :mod:`~repro.analysis.infer.facts` — per-class purity/escape facts
+  extracted from the AST;
+* :mod:`~repro.analysis.infer.wiring` — abstract interpretation of the
+  deployment functions (``create_component``/``spawn_process``);
+* :mod:`~repro.analysis.infer.engine` — the fixpoint classifier and
+  PHX010/PHX011/PHX012 findings;
+* :mod:`~repro.analysis.infer.costmodel` — predicted forces/records per
+  exported call path under Algorithms 2–5, and the per-method force
+  bounds the TRC106 trace cross-check consumes.
+"""
+
+from __future__ import annotations
+
+from .costmodel import CostModel, ForceBounds, SpanBound, build_cost_model
+from .engine import ClassReport, Engine, InferenceResult, run_inference
+from .wiring import Instantiation, Wiring, build_wiring
+
+__all__ = [
+    "ClassReport",
+    "CostModel",
+    "Engine",
+    "ForceBounds",
+    "InferenceResult",
+    "Instantiation",
+    "SpanBound",
+    "Wiring",
+    "build_cost_model",
+    "build_wiring",
+    "run_inference",
+]

@@ -1,0 +1,603 @@
+"""Fixpoint purity/escape classification of component classes.
+
+Combines the per-class method facts (:mod:`.facts`) with the deployment
+wiring (:mod:`.wiring`) to classify every component class into the
+*cheapest safe* type per the paper's rules (Sections 3.1–3.3):
+
+* definitely mutates ``self`` outside ``__init__`` ⇒ not stateless;
+* stateless and every method is *write-free* (never writes another
+  component, transitively) ⇒ ``read_only`` eligible (Algorithm 5);
+* stateless with no component calls at all ⇒ ``functional`` eligible
+  (Algorithm 4);
+* created only via ``new_subordinate`` by a single parent, never
+  handed to the external client ⇒ ``subordinate``.
+
+Mutation is a *must* analysis (a PHX010 correctness finding needs
+proof); write-freedom is a *may* analysis (an unresolvable call blocks
+the downgrade, it never invents one).
+
+Findings:
+
+* **PHX010** — declared type provably unsafe (stateless declaration
+  over mutating code, functional with component calls, read-only that
+  writes through, subordinate reachable from several parents);
+* **PHX011** — declared safe but a cheaper type is provably safe, with
+  the per-call force saving (Algorithms 2 vs 4/5);
+* **PHX012** — unmarked method of a persistent component is write-free
+  and has an intercepted component caller: ``@read_only_method``
+  eligible (Algorithm 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lint import Finding
+from ..model import ClassInfo, ProgramModel
+from .facts import ClassFacts, MethodFacts, Origin, OutCall, class_facts
+from .wiring import Wiring, build_wiring
+
+#: cheapest-first order the engine reports savings against
+_COST_ORDER = ["functional", "read_only", "subordinate", "persistent"]
+
+
+@dataclass
+class Resolution:
+    """Component classes a set of origins may denote."""
+
+    proxied: set[str] = field(default_factory=set)  # via wiring/params
+    subordinate: set[str] = field(default_factory=set)  # via new_subordinate
+    unknown: bool = False
+    data: bool = False  # some origin resolved to plain (non-component) data
+
+    @property
+    def classes(self) -> set[str]:
+        return self.proxied | self.subordinate
+
+
+@dataclass
+class ClassReport:
+    """Classification result for one component class."""
+
+    info: ClassInfo
+    declared: str | None
+    inferred: str
+    stateful: bool
+    functional_eligible: bool
+    read_only_eligible: bool
+    processes: set[str]
+    escaped: bool
+    instantiated: bool
+    subordinate_parents: set[str]
+    agrees: bool
+    write_free_methods: set[str] = field(default_factory=set)
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.info.qualname,
+            "path": self.info.module.path,
+            "line": self.info.node.lineno,
+            "declared": self.declared,
+            "inferred": self.inferred,
+            "stateful": self.stateful,
+            "functional_eligible": self.functional_eligible,
+            "read_only_eligible": self.read_only_eligible,
+            "processes": sorted(self.processes),
+            "escapes_to_client": self.escaped,
+            "instantiated": self.instantiated,
+            "subordinate_parents": sorted(self.subordinate_parents),
+            "write_free_methods": sorted(self.write_free_methods),
+            "agrees": self.agrees,
+        }
+
+
+@dataclass
+class InferenceResult:
+    reports: list[ClassReport]
+    findings: list[Finding]
+    wiring: Wiring
+    facts: dict[str, ClassFacts]
+
+    def report_for(self, name: str) -> ClassReport | None:
+        for report in self.reports:
+            if report.info.name == name or report.info.qualname == name:
+                return report
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "classes": [report.to_dict() for report in self.reports],
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+class Engine:
+    def __init__(self, model: ProgramModel):
+        self.model = model
+        self.wiring = build_wiring(model)
+        #: bare name -> ClassInfo (component classes only)
+        self.by_name: dict[str, ClassInfo] = {}
+        for info in model.component_classes():
+            self.by_name.setdefault(info.name, info)
+        self.facts: dict[str, ClassFacts] = {
+            name: class_facts(info) for name, info in self.by_name.items()
+        }
+        #: (class, method) -> write-free verdict (may-analysis)
+        self._write_free: dict[tuple[str, str], bool] = {}
+        #: (class, method) -> definitely-writes verdict (must-analysis)
+        self._writes: dict[tuple[str, str], bool] = {}
+        #: subordinate creations: child class -> parent classes
+        self.sub_parents: dict[str, set[str]] = {}
+        for name, facts in self.facts.items():
+            for method in self._all_method_facts(facts):
+                for child, _ in method.subordinate_creates:
+                    self.sub_parents.setdefault(child, set()).add(name)
+
+    @staticmethod
+    def _all_method_facts(facts: ClassFacts) -> list[MethodFacts]:
+        out = list(facts.methods.values())
+        if facts.init is not None:
+            out.append(facts.init)
+        return out
+
+    # -- origin resolution ---------------------------------------------
+    def resolve(
+        self,
+        facts: ClassFacts,
+        origins: frozenset[Origin] | set[Origin],
+        _seen: frozenset | None = None,
+    ) -> Resolution:
+        seen = _seen or frozenset()
+        result = Resolution()
+        arg_classes = self.wiring.arg_classes_for(facts.info.name)
+        instantiated = bool(self.wiring.sites_for(facts.info.name))
+        for origin in origins:
+            key = (facts.info.name, origin)
+            if key in seen:
+                continue
+            inner = frozenset(seen | {key})
+            if origin.kind == "param":
+                if not instantiated:
+                    result.unknown = True
+                    continue
+                classes = arg_classes.get(int(origin.ref), set())
+                if classes:
+                    result.proxied |= classes
+                else:
+                    result.data = True
+            elif origin.kind == "attr":
+                stored = facts.attr_origins.get(origin.ref)
+                if stored is None:
+                    if origin.ref in facts.class_attrs:
+                        result.data = True
+                    else:
+                        result.unknown = True
+                    continue
+                if not stored:
+                    # only ever assigned literals/expressions with no
+                    # tracked origin: plain data (e.g. ``self.items = []``)
+                    result.data = True
+                    continue
+                self._merge(
+                    result, self.resolve(facts, stored, inner)
+                )
+            elif origin.kind == "sub":
+                if origin.ref in self.by_name:
+                    result.subordinate.add(origin.ref)
+                else:
+                    result.unknown = True
+            elif origin.kind == "ret":
+                method = facts.methods.get(origin.ref)
+                if method is None:
+                    result.unknown = True
+                    continue
+                if not method.returns:
+                    result.data = True
+                    continue
+                self._merge(
+                    result, self.resolve(facts, method.returns, inner)
+                )
+        return result
+
+    @staticmethod
+    def _merge(into: Resolution, other: Resolution) -> None:
+        into.proxied |= other.proxied
+        into.subordinate |= other.subordinate
+        into.unknown = into.unknown or other.unknown
+        into.data = into.data or other.data
+
+    # -- mutation (must) ------------------------------------------------
+    def mutates(self, class_name: str, method_name: str) -> bool:
+        """Definitely mutates its own state (self-calls included)."""
+        return self._mutates(class_name, method_name, frozenset())
+
+    def _mutates(
+        self, class_name: str, method_name: str, seen: frozenset
+    ) -> bool:
+        key = (class_name, method_name)
+        if key in seen:
+            return False
+        facts = self.facts.get(class_name)
+        if facts is None:
+            return False
+        method = facts.methods.get(method_name)
+        if method is None:
+            return False
+        if method.mutates_self:
+            return True
+        for call in method.out_calls:
+            if call.mutator and self.resolve(facts, call.bases).data:
+                # in-place mutator on a data-holding own attribute
+                return True
+        return any(
+            self._mutates(class_name, callee, seen | {key})
+            for callee, _ in method.self_calls
+        )
+
+    def stateful(self, class_name: str) -> bool:
+        facts = self.facts[class_name]
+        return any(
+            self.mutates(class_name, name) for name in facts.methods
+        )
+
+    # -- write-free (may) and definite-write fixpoints ------------------
+    def run_fixpoints(self) -> None:
+        keys = [
+            (name, method)
+            for name, facts in self.facts.items()
+            for method in facts.methods
+        ]
+        # optimistic for write-free (greatest fixpoint): start True,
+        # falsify until stable
+        self._write_free = {key: True for key in keys}
+        # pessimistic for definite writes (least fixpoint): start with
+        # direct mutation, grow until stable
+        self._writes = {
+            key: self.mutates(*key) for key in keys
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key in keys:
+                if self._write_free[key]:
+                    if not self._check_write_free(*key):
+                        self._write_free[key] = False
+                        changed = True
+                if not self._writes[key]:
+                    if self._check_writes(*key):
+                        self._writes[key] = True
+                        changed = True
+
+    def _check_write_free(self, class_name: str, method_name: str) -> bool:
+        facts = self.facts[class_name]
+        method = facts.methods[method_name]
+        if self.mutates(class_name, method_name):
+            return False
+        if method.subordinate_creates:
+            return False
+        for callee, _ in method.self_calls:
+            if not self._write_free.get((class_name, callee), False):
+                return False
+        for call in method.out_calls:
+            resolution = self.resolve(facts, call.bases)
+            if resolution.unknown:
+                return False
+            for target in resolution.classes:
+                target_facts = self.facts.get(target)
+                if target_facts is None or (
+                    call.method not in target_facts.methods
+                ):
+                    return False
+                if not self._write_free.get((target, call.method), False):
+                    return False
+        return True
+
+    def _check_writes(self, class_name: str, method_name: str) -> bool:
+        facts = self.facts[class_name]
+        method = facts.methods[method_name]
+        for callee, _ in method.self_calls:
+            if self._writes.get((class_name, callee), False):
+                return True
+        for call in method.out_calls:
+            resolution = self.resolve(facts, call.bases)
+            for target in resolution.classes:
+                if self._writes.get((target, call.method), False):
+                    return True
+        return False
+
+    def write_free(self, class_name: str, method_name: str) -> bool:
+        return self._write_free.get((class_name, method_name), False)
+
+    # -- class-level eligibility ----------------------------------------
+    def component_calls(self, class_name: str) -> list[tuple[str, OutCall, Resolution]]:
+        """All out-calls of non-init methods that may reach components."""
+        facts = self.facts[class_name]
+        out = []
+        for method_name, method in facts.methods.items():
+            for call in method.out_calls:
+                resolution = self.resolve(facts, call.bases)
+                if resolution.classes or resolution.unknown:
+                    out.append((method_name, call, resolution))
+        return out
+
+    def functional_eligible(self, class_name: str) -> bool:
+        if self.stateful(class_name):
+            return False
+        facts = self.facts[class_name]
+        for method in facts.methods.values():
+            if method.subordinate_creates:
+                return False
+        for _, _, resolution in self.component_calls(class_name):
+            if resolution.classes or resolution.unknown:
+                return False
+        return True
+
+    def read_only_eligible(self, class_name: str) -> bool:
+        if self.stateful(class_name):
+            return False
+        facts = self.facts[class_name]
+        return all(
+            self.write_free(class_name, name) for name in facts.methods
+        )
+
+    def subordinate_only(self, class_name: str) -> bool:
+        """Created exclusively via ``new_subordinate`` (never deployed
+        as a parent component, never handed to the client)."""
+        return (
+            class_name in self.sub_parents
+            and not self.wiring.sites_for(class_name)
+        )
+
+    def infer_type(self, class_name: str) -> str:
+        if self.subordinate_only(class_name):
+            return "subordinate"
+        if self.functional_eligible(class_name):
+            return "functional"
+        if self.read_only_eligible(class_name):
+            return "read_only"
+        return "persistent"
+
+
+def run_inference(model: ProgramModel) -> InferenceResult:
+    engine = Engine(model)
+    engine.run_fixpoints()
+    findings: list[Finding] = []
+    class_reports: list[ClassReport] = []
+    for name, info in sorted(engine.by_name.items()):
+        instantiated = bool(engine.wiring.sites_for(name))
+        sub_created = name in engine.sub_parents
+        if info.effective_declared is None and not (
+            instantiated or sub_created
+        ):
+            continue  # undecorated helper base, never deployed
+        declared = info.effective_declared
+        inferred = engine.infer_type(name)
+        facts = engine.facts[name]
+        report = ClassReport(
+            info=info,
+            declared=declared,
+            inferred=inferred,
+            stateful=engine.stateful(name),
+            functional_eligible=engine.functional_eligible(name),
+            read_only_eligible=engine.read_only_eligible(name),
+            processes=engine.wiring.processes_for(name),
+            escaped=engine.wiring.escapes(name),
+            instantiated=instantiated,
+            subordinate_parents=engine.sub_parents.get(name, set()),
+            agrees=True,
+            write_free_methods={
+                m
+                for m in facts.methods
+                if engine.write_free(name, m)
+            },
+        )
+        class_findings = _class_findings(engine, report)
+        # a PHX010/PHX011 for this class means declared != cheapest safe
+        report.agrees = not any(
+            f.rule_id in ("PHX010", "PHX011") for f in class_findings
+        )
+        findings.extend(class_findings)
+        class_reports.append(report)
+    findings.extend(_method_findings(engine))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return InferenceResult(
+        reports=class_reports,
+        findings=findings,
+        wiring=engine.wiring,
+        facts=engine.facts,
+    )
+
+
+def _emit(
+    findings: list[Finding],
+    info: ClassInfo,
+    rule_id: str,
+    message: str,
+    line: int | None = None,
+    extra_lines: tuple[int, ...] = (),
+) -> None:
+    line = line if line is not None else info.node.lineno
+    if info.module.suppressed(rule_id, line, *extra_lines):
+        return
+    findings.append(
+        Finding(info.module.path, line, info.node.col_offset, rule_id, message)
+    )
+
+
+def _class_findings(engine: Engine, report: ClassReport) -> list[Finding]:
+    out: list[Finding] = []
+    info = report.info
+    name = info.name
+    declared = report.declared
+    facts = engine.facts[name]
+
+    if declared in ("functional", "read_only"):
+        mutating = sorted(
+            m for m in facts.methods if engine.mutates(name, m)
+        )
+        if mutating:
+            _emit(
+                out,
+                info,
+                "PHX010",
+                f"@{declared} component {name} mutates self in "
+                f"{', '.join(m + '()' for m in mutating)}; stateless "
+                "components are never recovered, the writes are lost on "
+                f"failure. Fix: declare {name} @persistent (or "
+                "@subordinate) or remove the mutation",
+            )
+    if declared == "functional" and not report.stateful:
+        calling = sorted(
+            {
+                f"{m}()"
+                for m, _, res in engine.component_calls(name)
+                if res.classes or res.unknown
+            }
+        )
+        if calling:
+            _emit(
+                out,
+                info,
+                "PHX010",
+                f"@functional component {name} calls other components "
+                f"from {', '.join(calling)}; Algorithm 4 logs nothing, "
+                "so replay would re-issue the calls against live state. "
+                f"Fix: declare {name} @read_only (if the calls never "
+                "write) or @persistent",
+            )
+    if declared == "read_only" and not report.stateful:
+        writers = sorted(
+            m
+            for m in facts.methods
+            if engine._writes.get((name, m), False)
+        )
+        if writers:
+            _emit(
+                out,
+                info,
+                "PHX010",
+                f"@read_only component {name} writes other components "
+                f"in {', '.join(m + '()' for m in writers)}; Algorithm 5 "
+                "skips logging, so a crash could double-apply the "
+                f"writes. Fix: declare {name} @persistent",
+            )
+    if declared == "subordinate":
+        problems = []
+        if report.instantiated:
+            problems.append(
+                "deployed via create_component as a parent component"
+            )
+        if report.escaped:
+            problems.append("handed to the external client")
+        if len(report.subordinate_parents) > 1:
+            parents = ", ".join(sorted(report.subordinate_parents))
+            problems.append(f"created by multiple parents ({parents})")
+        if problems:
+            _emit(
+                out,
+                info,
+                "PHX010",
+                f"@subordinate component {name} is "
+                f"{'; '.join(problems)}; subordinates live inside one "
+                "parent's context (Section 3.2.1). Fix: declare "
+                f"{name} @persistent",
+            )
+
+    # downgrades — only for components declared at a costlier level
+    if declared == "persistent":
+        if report.functional_eligible:
+            _emit(
+                out,
+                info,
+                "PHX011",
+                f"@persistent component {name} is stateless and calls "
+                "no components: @functional is safe and saves, per "
+                "call, the caller's Algorithm 2 pre-send force (~1 "
+                "force) plus both call records (Algorithm 4 logs "
+                "nothing on either side)",
+            )
+        elif report.read_only_eligible:
+            _emit(
+                out,
+                info,
+                "PHX011",
+                f"@persistent component {name} is stateless and every "
+                "method is write-free: @read_only is safe and saves, "
+                "per call, the caller's Algorithm 2 pre-send force (~1 "
+                "force); the caller logs only an unforced msg-4 record "
+                "(Algorithm 5)",
+            )
+        elif report.instantiated and not report.escaped:
+            callers = engine.wiring.static_callers_of(name)
+            if len(callers) == 1 and engine.wiring.processes_for(
+                name
+            ) <= engine.wiring.processes_for(next(iter(callers))):
+                # a subordinate lives inside its parent's context, so
+                # the candidate must be co-deployed with the parent
+                (parent,) = callers
+                _emit(
+                    out,
+                    info,
+                    "PHX011",
+                    f"@persistent component {name} is reachable only "
+                    f"from {parent}: subordinate candidate — calls "
+                    "from its parent's context are never intercepted "
+                    "or logged (Section 3.2.1)",
+                )
+    return out
+
+
+def _method_findings(engine: Engine) -> list[Finding]:
+    """PHX012: write-free methods of persistent components with an
+    intercepted component caller, not yet marked ``@read_only_method``."""
+    out: list[Finding] = []
+    # (callee class, method) -> caller classes whose call is intercepted
+    intercepted: dict[tuple[str, str], set[str]] = {}
+    for caller, facts in engine.facts.items():
+        info = engine.by_name[caller]
+        if info.effective_declared is None and not engine.wiring.sites_for(
+            caller
+        ):
+            continue
+        for method_name, method in facts.methods.items():
+            for call in method.out_calls:
+                resolution = engine.resolve(facts, call.bases)
+                for target in resolution.proxied:
+                    intercepted.setdefault(
+                        (target, call.method), set()
+                    ).add(caller)
+    for (target, method_name), callers in sorted(intercepted.items()):
+        info = engine.by_name.get(target)
+        facts = engine.facts.get(target)
+        if info is None or facts is None:
+            continue
+        if info.effective_declared != "persistent":
+            continue
+        method = facts.methods.get(method_name)
+        if method is None or method.read_only_marked:
+            continue
+        if method_name.startswith("_") or method_name == "__init__":
+            continue
+        if not engine.write_free(target, method_name):
+            continue
+        defining = _defining_class(info, method_name)
+        _emit(
+            out,
+            defining,
+            "PHX012",
+            f"{target}.{method_name}() is write-free and is called "
+            f"through a proxy by {', '.join(sorted(callers))}: marking "
+            "it @read_only_method lets Algorithm 5 skip the caller's "
+            "force and the callee's log record entirely",
+            line=method.lineno,
+        )
+    return out
+
+
+def _defining_class(info: ClassInfo, method_name: str) -> ClassInfo:
+    if method_name in info.own_methods():
+        return info
+    for base in info.ancestors():
+        if method_name in base.own_methods():
+            return base
+    return info

@@ -1,0 +1,371 @@
+"""Per-class purity/escape facts for the inference engine.
+
+For every component class (shared :class:`~repro.analysis.model.ClassInfo`,
+inherited methods included) this module extracts, by walking the AST with
+a tiny flow-insensitive abstract evaluator:
+
+* which ``self`` attributes each method *mutates* (direct assignment,
+  subscript stores, ``del``, augmented assignment, and mutator-method
+  calls like ``self.items.append`` — the latter deferred to the engine,
+  which knows whether the attribute holds data or component proxies);
+* which *outgoing calls* each method makes, and on what the receiver
+  expression is rooted (a constructor parameter, another attribute, a
+  ``new_subordinate`` result, or another method's return value);
+* which methods call which other methods of the same class; and
+* what each method returns (as origins, so ``self._basket(b).add(...)``
+  resolves through ``_basket``'s return value).
+
+Origins form a small algebra resolved later against the deployment
+wiring; containers are treated as transparent (an attribute holding a
+list of proxies carries the same origins as one proxy), which
+over-approximates — exactly what a safety analysis wants.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..model import ClassInfo, dotted_parts
+
+#: method names that mutate their receiver in place
+MUTATOR_METHODS = frozenset({
+    "append", "add", "insert", "extend", "update", "pop", "popitem",
+    "remove", "discard", "clear", "setdefault", "sort", "reverse",
+})
+
+#: container accessors that return elements, not new state
+ACCESSOR_METHODS = frozenset({"get", "items", "keys", "values", "copy"})
+
+#: builtins through which element origins pass untouched
+TRANSPARENT_CALLS = frozenset({
+    "list", "dict", "tuple", "set", "frozenset", "sorted", "reversed",
+    "enumerate", "zip",
+})
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where a value may come from.
+
+    ``kind`` is one of ``param`` (constructor parameter, ``ref`` is its
+    positional index as a string), ``attr`` (value of ``self.<ref>``),
+    ``sub`` (a ``new_subordinate(<ref>)`` result), or ``ret`` (return
+    value of the same class's method ``<ref>``).
+    """
+
+    kind: str
+    ref: str
+
+    def __repr__(self) -> str:  # compact in debug dumps
+        return f"{self.kind}:{self.ref}"
+
+
+@dataclass(frozen=True)
+class OutCall:
+    """A method call on a non-``self`` receiver."""
+
+    bases: frozenset[Origin]
+    method: str
+    in_loop: bool
+    mutator: bool  # method name is an in-place container mutator
+    lineno: int
+
+
+@dataclass
+class MethodFacts:
+    """Facts for one method body (inherited bodies re-analyzed per
+    concrete class, so attribute origins reflect the subclass)."""
+
+    name: str
+    lineno: int
+    read_only_marked: bool
+    mutates_self: bool = False
+    out_calls: list[OutCall] = field(default_factory=list)
+    #: (callee name, in_loop) same-class calls
+    self_calls: list[tuple[str, bool]] = field(default_factory=list)
+    subordinate_creates: list[tuple[str, bool]] = field(default_factory=list)
+    returns: set[Origin] = field(default_factory=set)
+
+
+@dataclass
+class ClassFacts:
+    """Facts for one concrete component class."""
+
+    info: ClassInfo
+    class_attrs: set[str] = field(default_factory=set)
+    #: self.<attr> -> union of origins ever stored there (container
+    #: structure flattened)
+    attr_origins: dict[str, set[Origin]] = field(default_factory=dict)
+    #: __init__ parameter name -> positional index (0-based, after self)
+    init_params: dict[str, int] = field(default_factory=dict)
+    #: non-__init__ methods
+    methods: dict[str, MethodFacts] = field(default_factory=dict)
+    init: MethodFacts | None = None
+
+
+def class_facts(info: ClassInfo) -> ClassFacts:
+    facts = ClassFacts(info=info)
+    for node in info.node.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    facts.class_attrs.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            facts.class_attrs.add(node.target.id)
+    for base in info.ancestors():
+        for node in base.node.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        facts.class_attrs.add(target.id)
+
+    for name, method in info.all_methods().items():
+        is_init = name == "__init__"
+        if is_init:
+            args = method.node.args
+            for index, arg in enumerate(args.args[1:]):
+                facts.init_params[arg.arg] = index
+        extractor = _MethodExtractor(info, facts, method.node, is_init)
+        method_facts = extractor.run()
+        method_facts.read_only_marked = method.read_only
+        method_facts.lineno = method.lineno
+        if is_init:
+            facts.init = method_facts
+        else:
+            facts.methods[name] = method_facts
+    return facts
+
+
+class _MethodExtractor:
+    def __init__(
+        self,
+        info: ClassInfo,
+        cls_facts: ClassFacts,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_init: bool,
+    ):
+        self.info = info
+        self.cls = cls_facts
+        self.func = func
+        self.is_init = is_init
+        self.env: dict[str, set[Origin]] = {}
+        if is_init:
+            for name, index in cls_facts.init_params.items():
+                self.env[name] = {Origin("param", str(index))}
+        self.facts = MethodFacts(
+            name=func.name, lineno=func.lineno, read_only_marked=False
+        )
+
+    def run(self) -> MethodFacts:
+        self._walk(self.func.body, in_loop=False)
+        return self.facts
+
+    # -- statements ----------------------------------------------------
+    def _walk(self, body: list[ast.stmt], in_loop: bool) -> None:
+        for node in body:
+            self._stmt(node, in_loop)
+
+    def _stmt(self, node: ast.stmt, in_loop: bool) -> None:
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value, in_loop)
+            for target in node.targets:
+                self._assign(target, value, in_loop)
+        elif isinstance(node, ast.AnnAssign):
+            value = (
+                self._eval(node.value, in_loop) if node.value else set()
+            )
+            self._assign(node.target, value, in_loop)
+        elif isinstance(node, ast.AugAssign):
+            self._eval(node.value, in_loop)
+            if self._self_attr_root(node.target) is not None:
+                self._mark_mutation()
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if self._self_attr_root(target) is not None:
+                    self._mark_mutation()
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value, in_loop)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.facts.returns |= self._eval(node.value, in_loop)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            origins = self._eval(node.iter, in_loop)
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    self.env.setdefault(name.id, set()).update(origins)
+            self._walk(node.body, True)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.While):
+            self._eval(node.test, in_loop)
+            self._walk(node.body, True)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.If):
+            self._eval(node.test, in_loop)
+            self._walk(node.body, in_loop)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.Try):
+            self._walk(node.body, in_loop)
+            for handler in node.handlers:
+                self._walk(handler.body, in_loop)
+            self._walk(node.orelse, in_loop)
+            self._walk(node.finalbody, in_loop)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self._eval(item.context_expr, in_loop)
+            self._walk(node.body, in_loop)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._eval(node.exc, in_loop)
+        # nested defs/classes are out of scope for component facts
+
+    def _assign(
+        self, target: ast.expr, value: set[Origin], in_loop: bool
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(value)
+            return
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._assign(element, value, in_loop)
+            return
+        attr = self._self_attr_root(target)
+        if attr is not None:
+            self.cls.attr_origins.setdefault(attr, set()).update(value)
+            # storing into an existing attribute (or a slot of one)
+            # outside __init__ mutates the component
+            if not self.is_init:
+                self._mark_mutation()
+
+    def _mark_mutation(self) -> None:
+        if not self.is_init:
+            self.facts.mutates_self = True
+
+    @staticmethod
+    def _self_attr_root(node: ast.expr) -> str | None:
+        """``self.X``, ``self.X[...]``, ``self.X[...][...]`` -> ``X``."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: ast.expr, in_loop: bool) -> set[Origin]:
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return {Origin("attr", node.attr)}
+            # deeper attribute chains on locals: pass the base through
+            return self._eval(node.value, in_loop)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, in_loop)
+            return self._eval(node.value, in_loop)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, in_loop)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, in_loop)
+            return self._eval(node.body, in_loop) | self._eval(
+                node.orelse, in_loop
+            )
+        if isinstance(node, ast.BoolOp):
+            out: set[Origin] = set()
+            for value in node.values:
+                out |= self._eval(value, in_loop)
+            return out
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self._eval(element, in_loop)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for value in node.values:
+                if value is not None:
+                    out |= self._eval(value, in_loop)
+            return out
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for generator in node.generators:
+                origins = self._eval(generator.iter, in_loop)
+                for name in ast.walk(generator.target):
+                    if isinstance(name, ast.Name):
+                        self.env.setdefault(name.id, set()).update(origins)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, True)
+                return self._eval(node.value, True)
+            return self._eval(node.elt, True)
+        if isinstance(node, (ast.BinOp, ast.Compare, ast.UnaryOp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, in_loop)
+            return set()
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return set()
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, in_loop)
+        return set()
+
+    def _eval_call(self, node: ast.Call, in_loop: bool) -> set[Origin]:
+        for keyword in node.keywords:
+            self._eval(keyword.value, in_loop)
+        func = node.func
+        # self.m(...) — same-class call
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            if func.attr == "new_subordinate" and node.args:
+                target = dotted_parts(node.args[0])
+                for arg in node.args[1:]:
+                    self._eval(arg, in_loop)
+                if target is not None:
+                    cls_name = target[-1]
+                    self.facts.subordinate_creates.append(
+                        (cls_name, in_loop)
+                    )
+                    return {Origin("sub", cls_name)}
+                return set()
+            for arg in node.args:
+                self._eval(arg, in_loop)
+            self.facts.self_calls.append((func.attr, in_loop))
+            return {Origin("ret", func.attr)}
+        if isinstance(func, ast.Attribute):
+            bases = self._eval(func.value, in_loop)
+            for arg in node.args:
+                self._eval(arg, in_loop)
+            if func.attr in ACCESSOR_METHODS:
+                # container access: elements share the container's
+                # origins (structure is flattened), no call recorded
+                return bases
+            if bases:
+                self.facts.out_calls.append(
+                    OutCall(
+                        bases=frozenset(bases),
+                        method=func.attr,
+                        in_loop=in_loop,
+                        mutator=func.attr in MUTATOR_METHODS,
+                        lineno=node.lineno,
+                    )
+                )
+            return set()
+        if isinstance(func, ast.Name):
+            arg_origins: set[Origin] = set()
+            for arg in node.args:
+                arg_origins |= self._eval(arg, in_loop)
+            if func.id in TRANSPARENT_CALLS:
+                return arg_origins
+            return set()
+        self._eval(func, in_loop)
+        for arg in node.args:
+            self._eval(arg, in_loop)
+        return set()

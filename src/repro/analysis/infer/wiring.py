@@ -1,0 +1,341 @@
+"""Abstract interpretation of deployment wiring (``apps/*/deploy.py``).
+
+The engine needs to know, statically, which component classes are
+instantiated (``process.create_component(Cls, args=(...))``), in which
+processes they live, and which component instances flow into which
+constructor arguments — that is how a proxy stored as ``self.ledger``
+resolves to a concrete callee class.
+
+The interpreter walks every function of every module in the model (any
+function that calls ``create_component``; it is not limited to files
+named ``deploy.py``), tracking for each local variable a set of tokens:
+component *classes*, created *instances*, and spawned *processes*.
+Branches are unioned (``cls = A if flag else B`` instantiates both),
+containers are transparent (a list/dict of instances carries its
+elements), and loops are walked once with a multiplicity flag.
+
+An instance that is returned, or passed to any call other than
+``create_component``/``spawn_process`` (typically the app-handle
+dataclass), *escapes*: the external client can reach it, which
+disqualifies it from subordinate candidacy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..model import ClassInfo, ModuleInfo, ProgramModel, dotted_parts
+
+#: builtins through which element tokens pass untouched
+_TRANSPARENT = frozenset({
+    "list", "dict", "tuple", "set", "frozenset", "sorted", "reversed",
+    "enumerate", "zip",
+})
+
+
+@dataclass
+class Instantiation:
+    """One ``create_component`` site (possibly multi-class via IfExp)."""
+
+    classes: set[str]
+    processes: set[str]
+    #: component class names flowing into each positional ``args`` slot
+    arg_classes: list[set[str]]
+    in_loop: bool
+    module: str
+    function: str
+    lineno: int
+    escaped: bool = False
+
+
+@dataclass
+class Wiring:
+    """All statically discovered instantiations, with lookup views."""
+
+    instantiations: list[Instantiation] = field(default_factory=list)
+
+    def instantiated_classes(self) -> set[str]:
+        out: set[str] = set()
+        for site in self.instantiations:
+            out |= site.classes
+        return out
+
+    def sites_for(self, class_name: str) -> list[Instantiation]:
+        return [
+            site
+            for site in self.instantiations
+            if class_name in site.classes
+        ]
+
+    def arg_classes_for(self, class_name: str) -> dict[int, set[str]]:
+        """Union of component classes per constructor-arg index."""
+        merged: dict[int, set[str]] = {}
+        for site in self.sites_for(class_name):
+            for index, classes in enumerate(site.arg_classes):
+                merged.setdefault(index, set()).update(classes)
+        return merged
+
+    def processes_for(self, class_name: str) -> set[str]:
+        out: set[str] = set()
+        for site in self.sites_for(class_name):
+            out |= site.processes
+        return out
+
+    def escapes(self, class_name: str) -> bool:
+        return any(site.escaped for site in self.sites_for(class_name))
+
+    def static_callers_of(self, class_name: str) -> set[str]:
+        """Classes receiving an instance of ``class_name`` as a
+        constructor argument (proxy-holding parents)."""
+        out: set[str] = set()
+        for site in self.instantiations:
+            for classes in site.arg_classes:
+                if class_name in classes:
+                    out |= site.classes
+        return out
+
+
+# tokens: ("class", name) | ("inst", site_index) | ("proc", name)
+_Token = tuple[str, object]
+
+
+def build_wiring(model: ProgramModel) -> Wiring:
+    wiring = Wiring()
+    components = {info.name for info in model.component_classes()}
+    for module in model.modules.values():
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _calls_create_component(node):
+                    _FunctionInterp(
+                        module, node, components, wiring
+                    ).run()
+    return wiring
+
+
+def _calls_create_component(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    return any(
+        isinstance(node, ast.Attribute)
+        and node.attr == "create_component"
+        for node in ast.walk(func)
+    )
+
+
+class _FunctionInterp:
+    def __init__(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        components: set[str],
+        wiring: Wiring,
+    ):
+        self.module = module
+        self.func = func
+        self.components = components
+        self.wiring = wiring
+        self.env: dict[str, set[_Token]] = {}
+        self._proc_counter = 0
+
+    def run(self) -> None:
+        self._walk(self.func.body, in_loop=False)
+
+    # -- statements ----------------------------------------------------
+    def _walk(self, body: list[ast.stmt], in_loop: bool) -> None:
+        for node in body:
+            self._stmt(node, in_loop)
+
+    def _stmt(self, node: ast.stmt, in_loop: bool) -> None:
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value, in_loop)
+            for target in node.targets:
+                self._assign(target, value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._assign(node.target, self._eval(node.value, in_loop))
+        elif isinstance(node, ast.AugAssign):
+            self._eval(node.value, in_loop)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value, in_loop)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._escape(self._eval(node.value, in_loop))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            origins = self._eval(node.iter, in_loop)
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    self.env.setdefault(name.id, set()).update(origins)
+            self._walk(node.body, True)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.While):
+            self._walk(node.body, True)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.If):
+            self._walk(node.body, in_loop)
+            self._walk(node.orelse, in_loop)
+        elif isinstance(node, ast.Try):
+            self._walk(node.body, in_loop)
+            for handler in node.handlers:
+                self._walk(handler.body, in_loop)
+            self._walk(node.orelse, in_loop)
+            self._walk(node.finalbody, in_loop)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self._eval(item.context_expr, in_loop)
+            self._walk(node.body, in_loop)
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            self._eval(node.exc, in_loop)
+
+    def _assign(self, target: ast.expr, value: set[_Token]) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(value)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._assign(element, value)
+        elif isinstance(target, ast.Subscript):
+            # managers[buyer_id] = <instance> — container accumulates
+            self._assign_into(target.value, value)
+        elif isinstance(target, ast.Attribute):
+            # app.field = <instance> — treat like an escape via handle
+            self._escape(value)
+
+    def _assign_into(self, container: ast.expr, value: set[_Token]) -> None:
+        if isinstance(container, ast.Name):
+            self.env.setdefault(container.id, set()).update(value)
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: ast.expr, in_loop: bool) -> set[_Token]:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return set(self.env[node.id])
+            return self._class_token(node)
+        if isinstance(node, ast.Attribute):
+            return self._class_token(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, in_loop)
+        if isinstance(node, ast.IfExp):
+            return self._eval(node.body, in_loop) | self._eval(
+                node.orelse, in_loop
+            )
+        if isinstance(node, ast.BoolOp):
+            out: set[_Token] = set()
+            for value in node.values:
+                out |= self._eval(value, in_loop)
+            return out
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self._eval(element, in_loop)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for value in node.values:
+                if value is not None:
+                    out |= self._eval(value, in_loop)
+            return out
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for generator in node.generators:
+                origins = self._eval(generator.iter, in_loop)
+                for name in ast.walk(generator.target):
+                    if isinstance(name, ast.Name):
+                        self.env.setdefault(name.id, set()).update(origins)
+            if isinstance(node, ast.DictComp):
+                return self._eval(node.value, True)
+            return self._eval(node.elt, True)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value, in_loop)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, in_loop)
+        return set()
+
+    def _class_token(self, node: ast.expr) -> set[_Token]:
+        parts = dotted_parts(node)
+        if parts is not None and parts[-1] in self.components:
+            return {("class", parts[-1])}
+        return set()
+
+    def _eval_call(self, node: ast.Call, in_loop: bool) -> set[_Token]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "spawn_process":
+                name = None
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        name = node.args[0].value
+                if name is None:
+                    self._proc_counter += 1
+                    name = f"<proc-{self._proc_counter}>"
+                return {("proc", name)}
+            if func.attr == "create_component":
+                return self._create_component(node, in_loop)
+        if isinstance(func, ast.Name) and func.id in _TRANSPARENT:
+            # transparent containers do NOT escape their elements
+            out: set[_Token] = set()
+            for arg in node.args:
+                out |= self._eval(arg, in_loop)
+            return out
+        # Any other call: arguments escape to the outside world (the
+        # app-handle dataclass, helper functions, ...).
+        for arg in node.args:
+            self._escape(self._eval(arg, in_loop))
+        for keyword in node.keywords:
+            self._escape(self._eval(keyword.value, in_loop))
+        return set()
+
+    def _create_component(
+        self, node: ast.Call, in_loop: bool
+    ) -> set[_Token]:
+        assert isinstance(node.func, ast.Attribute)
+        receiver = self._eval(node.func.value, in_loop)
+        processes = {
+            name for kind, name in receiver if kind == "proc"
+        } or {"<unknown>"}
+        classes: set[str] = set()
+        if node.args:
+            classes = {
+                name
+                for kind, name in self._eval(node.args[0], in_loop)
+                if kind == "class"
+            }
+        arg_classes: list[set[str]] = []
+        for keyword in node.keywords:
+            if keyword.arg != "args":
+                continue
+            value = keyword.value
+            elements = (
+                value.elts if isinstance(value, ast.Tuple) else [value]
+            )
+            for element in elements:
+                arg_classes.append(self._flatten_classes(element, in_loop))
+        site = Instantiation(
+            classes=classes,
+            processes={str(p) for p in processes},
+            arg_classes=arg_classes,
+            in_loop=in_loop,
+            module=self.module.name,
+            function=self.func.name,
+            lineno=node.lineno,
+        )
+        self.wiring.instantiations.append(site)
+        return {("inst", len(self.wiring.instantiations) - 1)}
+
+    def _flatten_classes(
+        self, node: ast.expr, in_loop: bool
+    ) -> set[str]:
+        """Component classes among the tokens of one ``args`` slot."""
+        out: set[str] = set()
+        for kind, ref in self._eval(node, in_loop):
+            if kind == "class":
+                out.add(str(ref))
+            elif kind == "inst":
+                out |= self.wiring.instantiations[int(str(ref))].classes
+        return out
+
+    def _site_indexes(self, tokens: set[_Token]) -> list[int]:
+        return [int(str(ref)) for kind, ref in tokens if kind == "inst"]
+
+    def _escape(self, tokens: set[_Token]) -> None:
+        for index in self._site_indexes(tokens):
+            self.wiring.instantiations[index].escaped = True

@@ -3,9 +3,16 @@
 The linter parses each target file (it never imports it), finds the
 component classes — classes carrying a ``@persistent`` / ``@subordinate``
 / ``@functional`` / ``@read_only`` decorator, or (transitively)
-inheriting from ``PersistentComponent`` — and checks their methods for
+inheriting from ``PersistentComponent``, including bases defined in
+*other* modules of the linted set — and checks their methods for
 constructs that break the paper's guarantees.  Module-level rules
 (PHX004/PHX005) apply to the whole file.
+
+Component detection and import resolution live in the shared
+:mod:`repro.analysis.model`; ``lint_paths`` builds one
+:class:`~repro.analysis.model.ProgramModel` across every given file so
+cross-module inheritance resolves (the original per-module fixpoint
+silently missed it).
 
 Suppression: a ``# phx: disable=PHX001`` (comma-separated IDs, or bare
 ``# phx: disable`` for all rules) comment on the offending line, or on
@@ -15,23 +22,11 @@ the ``def`` line of the enclosing function, silences the finding.
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from .model import ModuleInfo, ProgramModel, dotted_parts
 from .rules import RULES
-
-#: class decorators that mark a component class -> declared type
-_TYPE_DECORATORS = {
-    "persistent": "persistent",
-    "subordinate": "subordinate",
-    "functional": "functional",
-    "read_only": "read_only",
-}
-
-_STATELESS_TYPES = {"functional", "read_only"}
-
-_COMPONENT_BASE = "PersistentComponent"
 
 #: fully-resolved call targets that are nondeterministic (PHX001)
 _NONDET_PREFIXES = ("random.", "secrets.", "numpy.random.")
@@ -90,9 +85,7 @@ _STABLE_CONSTRUCTORS = {"StableStore", "StableFile", "DurableLog"}
 #: ``x.log.<method>(...)`` calls that bypass the process hooks (PHX005)
 _RAW_LOG_METHODS = {"append", "force", "append_and_force"}
 
-_PRAGMA = re.compile(
-    r"#\s*phx:\s*disable(?:\s*=\s*(?P<ids>[A-Z0-9_,\s]+))?"
-)
+_STATELESS_TYPES = {"functional", "read_only"}
 
 
 @dataclass(frozen=True)
@@ -112,124 +105,40 @@ class Finding:
             f"{self.message} [fix: {fixit}]"
         )
 
-
-def _suppressions(source: str) -> dict[int, frozenset | None]:
-    """Map line number -> suppressed rule IDs (``None`` = all rules)."""
-    table: dict[int, frozenset | None] = {}
-    for number, text in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(text)
-        if match is None:
-            continue
-        ids = match.group("ids")
-        if ids is None:
-            table[number] = None
-        else:
-            table[number] = frozenset(
-                token.strip() for token in ids.split(",") if token.strip()
-            )
-    return table
-
-
-def _dotted_parts(node: ast.expr) -> list[str] | None:
-    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
-    parts: list[str] = []
-    current = node
-    while isinstance(current, ast.Attribute):
-        parts.append(current.attr)
-        current = current.value
-    if not isinstance(current, ast.Name):
-        return None
-    parts.append(current.id)
-    parts.reverse()
-    return parts
+    def to_dict(self) -> dict:
+        """Machine-readable form (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "fixit": RULES[self.rule_id].fixit,
+            "paper_ref": RULES[self.rule_id].paper_ref,
+        }
 
 
 class _ModuleLinter:
-    def __init__(self, path: str, source: str):
-        self.path = path
-        self.source = source
-        self.tree = ast.parse(source, filename=path)
-        self.suppressions = _suppressions(source)
-        self.findings: list[Finding] = []
-        # alias -> module path, local name -> dotted origin
-        self.modules: dict[str, str] = {}
-        self.names: dict[str, str] = {}
-        self._collect_imports()
-        # class name -> declared type ("persistent"... or None), for
-        # every component class found in this module
-        self.component_types: dict[str, str | None] = {}
-        self._find_component_classes()
+    """Per-module rule pass over a parsed :class:`ModuleInfo`.
 
-    # -- bookkeeping ---------------------------------------------------
-    def _collect_imports(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    self.modules[alias.asname or alias.name] = alias.name
-            elif isinstance(node, ast.ImportFrom):
-                module = node.module or ""
-                for alias in node.names:
-                    origin = f"{module}.{alias.name}" if module else alias.name
-                    self.names[alias.asname or alias.name] = origin
+    ``component_types`` comes from the whole-program model, so a class
+    inheriting a component base from another linted module is checked
+    under the declared type it actually runs as.
+    """
+
+    def __init__(
+        self, module: ModuleInfo, component_types: dict[str, str | None]
+    ):
+        self.module = module
+        self.path = module.path
+        self.tree = module.tree
+        self.component_types = component_types
+        self.findings: list[Finding] = []
 
     def _resolve(self, node: ast.expr) -> str | None:
-        """Resolve a call target to its fully-qualified dotted name."""
-        parts = _dotted_parts(node)
-        if parts is None:
-            return None
-        root = parts[0]
-        if root in self.names:
-            return ".".join([self.names[root], *parts[1:]])
-        if root in self.modules:
-            return ".".join([self.modules[root], *parts[1:]])
-        return ".".join(parts)
-
-    def _find_component_classes(self) -> None:
-        classes = [
-            node
-            for node in ast.walk(self.tree)
-            if isinstance(node, ast.ClassDef)
-        ]
-        # Iterate to a fixpoint so a class inheriting from a component
-        # class defined later in the file is still recognized.
-        changed = True
-        while changed:
-            changed = False
-            for node in classes:
-                if node.name in self.component_types:
-                    continue
-                declared = self._declared_type(node)
-                is_component = declared is not None
-                for base in node.bases:
-                    parts = _dotted_parts(base)
-                    if parts is None:
-                        continue
-                    if (
-                        parts[-1] == _COMPONENT_BASE
-                        or parts[-1] in self.component_types
-                    ):
-                        is_component = True
-                if is_component:
-                    self.component_types[node.name] = declared
-                    changed = True
-
-    def _declared_type(self, node: ast.ClassDef) -> str | None:
-        for decorator in node.decorator_list:
-            parts = _dotted_parts(decorator)
-            if parts and parts[-1] in _TYPE_DECORATORS:
-                return _TYPE_DECORATORS[parts[-1]]
-        return None
+        return self.module.resolve_dotted(node)
 
     # -- reporting -----------------------------------------------------
-    def _suppressed(self, rule_id: str, *lines: int) -> bool:
-        for line in lines:
-            if line not in self.suppressions:
-                continue
-            ids = self.suppressions[line]
-            if ids is None or rule_id in ids:
-                return True
-        return False
-
     def _report(
         self,
         rule_id: str,
@@ -240,7 +149,7 @@ class _ModuleLinter:
         lines = [node.lineno]
         if func is not None:
             lines.append(func.lineno)
-        if self._suppressed(rule_id, *lines):
+        if self.module.suppressed(rule_id, *lines):
             return
         self.findings.append(
             Finding(self.path, node.lineno, node.col_offset, rule_id, message)
@@ -268,7 +177,7 @@ class _ModuleLinter:
         for node in ast.walk(self.tree):
             if not isinstance(node, ast.Call):
                 continue
-            parts = _dotted_parts(node.func)
+            parts = dotted_parts(node.func)
             if parts is None:
                 continue
             func = self._enclosing_function(node)
@@ -324,7 +233,7 @@ class _ModuleLinter:
         func: ast.FunctionDef | ast.AsyncFunctionDef,
     ) -> None:
         read_only_method = any(
-            (parts := _dotted_parts(decorator)) is not None
+            (parts := dotted_parts(decorator)) is not None
             and parts[-1] == "read_only_method"
             for decorator in func.decorator_list
         )
@@ -449,24 +358,28 @@ class _ModuleLinter:
             )
 
 
+def lint_model(model: ProgramModel) -> list[Finding]:
+    """Lint every module of an already-built program model."""
+    findings: list[Finding] = []
+    for module in model.modules.values():
+        types = model.component_types_for(module)
+        findings.extend(_ModuleLinter(module, types).run())
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     """Lint one module's source text."""
-    return _ModuleLinter(path, source).run()
+    return lint_model(ProgramModel.from_source(source, path))
 
 
 def lint_file(path: str | Path) -> list[Finding]:
-    path = Path(path)
-    return lint_source(path.read_text(), str(path))
+    return lint_model(ProgramModel.from_paths([path]))
 
 
 def lint_paths(paths: list[str | Path]) -> list[Finding]:
-    """Lint files and (recursively) directories of ``.py`` files."""
-    findings: list[Finding] = []
-    for path in paths:
-        path = Path(path)
-        if path.is_dir():
-            for file in sorted(path.rglob("*.py")):
-                findings.extend(lint_file(file))
-        else:
-            findings.extend(lint_file(path))
-    return findings
+    """Lint files and (recursively) directories of ``.py`` files.
+
+    All files are resolved against one shared model, so component
+    classes whose base lives in a different module are recognized.
+    """
+    return lint_model(ProgramModel.from_paths(paths))

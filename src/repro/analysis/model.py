@@ -1,0 +1,391 @@
+"""Shared static program model for the analyzers (stdlib ``ast``).
+
+Both the determinism lint (:mod:`repro.analysis.lint`) and the type
+inference engine (:mod:`repro.analysis.infer`) need the same ground
+facts about a set of source files: which classes are component classes,
+what type each declares, which methods carry ``@read_only_method``, and
+how names imported from other modules resolve.  This module computes
+those facts once, over the *whole* file set, so a class inheriting a
+component base defined in another module is recognized (the original
+per-module fixpoint in ``lint.py`` silently missed cross-module
+inheritance).
+
+Nothing here imports the analyzed code — everything is parsed, never
+executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: class decorators that mark a component class -> declared type
+TYPE_DECORATORS = {
+    "persistent": "persistent",
+    "subordinate": "subordinate",
+    "functional": "functional",
+    "read_only": "read_only",
+}
+
+STATELESS_TYPES = frozenset({"functional", "read_only"})
+
+COMPONENT_BASE = "PersistentComponent"
+
+PRAGMA = re.compile(r"#\s*phx:\s*disable(?:\s*=\s*(?P<ids>[A-Z0-9_,\s]+))?")
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def suppression_table(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule IDs (``None`` = all rules)."""
+    table: dict[int, frozenset[str] | None] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = PRAGMA.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            table[number] = None
+        else:
+            table[number] = frozenset(
+                token.strip() for token in ids.split(",") if token.strip()
+            )
+    return table
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for a source path.
+
+    Files under a ``repro`` package root get their real dotted name
+    (so relative imports resolve); anything else is named by its stem.
+    """
+    parts = [part for part in path.parts]
+    stem = path.stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+@dataclass
+class MethodInfo:
+    """One method of a component class (AST only, never executed)."""
+
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    lineno: int
+    read_only: bool  # carries @read_only_method
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with cross-module resolution results."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    #: this class's own decorator type, if any
+    declared: str | None
+    #: resolved after :meth:`ProgramModel.resolve`
+    is_component: bool = False
+    #: own decorator, else the nearest base's (mirrors ``declared_type``'s
+    #: ``getattr`` lookup at runtime); None for undecorated roots
+    effective_declared: str | None = None
+    #: bases that resolved to classes in the model, in definition order
+    base_classes: list["ClassInfo"] = field(default_factory=list)
+    #: a base resolved (by name) to ``PersistentComponent`` itself
+    inherits_root: bool = False
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+    def own_methods(self) -> dict[str, MethodInfo]:
+        methods: dict[str, MethodInfo] = {}
+        for item in self.node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                read_only = any(
+                    (parts := dotted_parts(decorator)) is not None
+                    and parts[-1] == "read_only_method"
+                    for decorator in item.decorator_list
+                )
+                methods[item.name] = MethodInfo(
+                    name=item.name,
+                    node=item,
+                    lineno=item.lineno,
+                    read_only=read_only,
+                )
+        return methods
+
+    def ancestors(self) -> list["ClassInfo"]:
+        """All resolved base classes, transitively, nearest first."""
+        seen: list[ClassInfo] = []
+        queue = list(self.base_classes)
+        while queue:
+            base = queue.pop(0)
+            if base in seen or base is self:
+                continue
+            seen.append(base)
+            queue.extend(base.base_classes)
+        return seen
+
+    def all_methods(self) -> dict[str, MethodInfo]:
+        """Own methods plus inherited ones (nearest definition wins)."""
+        methods = dict(self.own_methods())
+        for base in self.ancestors():
+            for name, info in base.own_methods().items():
+                methods.setdefault(name, info)
+        return methods
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: imports, classes, suppressions."""
+
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+    #: alias -> imported module path (``import x.y as z``)
+    modules: dict[str, str] = field(default_factory=dict)
+    #: local name -> dotted origin (``from m import n as k``)
+    names: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    suppressions: dict[int, frozenset[str] | None] = field(
+        default_factory=dict
+    )
+
+    def resolve_dotted(self, node: ast.expr) -> str | None:
+        """Resolve an attribute chain to a fully-qualified dotted name."""
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        root = parts[0]
+        if root in self.names:
+            return ".".join([self.names[root], *parts[1:]])
+        if root in self.modules:
+            return ".".join([self.modules[root], *parts[1:]])
+        return ".".join(parts)
+
+    def suppressed(self, rule_id: str, *lines: int) -> bool:
+        for line in lines:
+            if line not in self.suppressions:
+                continue
+            ids = self.suppressions[line]
+            if ids is None or rule_id in ids:
+                return True
+        return False
+
+
+def _parse_module(path: str, source: str, name: str) -> ModuleInfo:
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(
+        path=path,
+        name=name,
+        source=source,
+        tree=tree,
+        suppressions=suppression_table(source),
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.modules[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            origin_module = _absolute_import(name, node)
+            for alias in node.names:
+                origin = (
+                    f"{origin_module}.{alias.name}"
+                    if origin_module
+                    else alias.name
+                )
+                module.names[alias.asname or alias.name] = origin
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            declared = None
+            for decorator in node.decorator_list:
+                parts = dotted_parts(decorator)
+                if parts and parts[-1] in TYPE_DECORATORS:
+                    declared = TYPE_DECORATORS[parts[-1]]
+            # nested/duplicate class names: first definition wins, which
+            # matches the original lint's ``ast.walk`` order
+            module.classes.setdefault(
+                node.name,
+                ClassInfo(
+                    name=node.name,
+                    module=module,
+                    node=node,
+                    declared=declared,
+                ),
+            )
+    return module
+
+
+def _absolute_import(module_name: str, node: ast.ImportFrom) -> str:
+    """Resolve a (possibly relative) ``from`` import to a dotted path."""
+    if node.level == 0:
+        return node.module or ""
+    package_parts = module_name.split(".")[:-1]
+    if node.level > 1:
+        package_parts = package_parts[: len(package_parts) - (node.level - 1)]
+    base = ".".join(part for part in package_parts if part)
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base
+
+
+class ProgramModel:
+    """A set of parsed modules with cross-module class resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_paths(cls, paths: list[str | Path]) -> "ProgramModel":
+        model = cls()
+        for file in iter_py_files(paths):
+            model.add_file(file)
+        model.resolve()
+        return model
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>"
+    ) -> "ProgramModel":
+        model = cls()
+        model.add_source(source, path)
+        model.resolve()
+        return model
+
+    def add_file(self, path: str | Path) -> ModuleInfo:
+        path = Path(path)
+        return self.add_source(path.read_text(), str(path))
+
+    def add_source(self, source: str, path: str) -> ModuleInfo:
+        name = module_name_for(Path(path))
+        module = _parse_module(path, source, name)
+        if name in self.modules:  # same stem twice: keep both reachable
+            name = f"{name}@{len(self.modules)}"
+            module.name = name
+        self.modules[name] = module
+        return module
+
+    # -- resolution ----------------------------------------------------
+    def find_class(self, dotted: str) -> ClassInfo | None:
+        """Look up ``pkg.module.Class`` (or a re-exported alias) in the
+        model, following one level of ``from x import Y`` indirection."""
+        module_path, _, class_name = dotted.rpartition(".")
+        module = self.modules.get(module_path)
+        if module is not None:
+            found = module.classes.get(class_name)
+            if found is not None:
+                return found
+            # re-export: the origin module imports the class itself
+            origin = module.names.get(class_name)
+            if origin is not None and origin != dotted:
+                return self.find_class(origin)
+        return None
+
+    def resolve(self) -> None:
+        """Resolve bases cross-module and run the component fixpoint."""
+        all_classes = [
+            info
+            for module in self.modules.values()
+            for info in module.classes.values()
+        ]
+        for info in all_classes:
+            info.base_classes = []
+            info.inherits_root = False
+            for base in info.node.bases:
+                parts = dotted_parts(base)
+                if parts is None:
+                    continue
+                resolved = None
+                dotted = info.module.resolve_dotted(base)
+                if dotted is not None:
+                    resolved = self.find_class(dotted)
+                if resolved is None and parts[-1] in info.module.classes:
+                    resolved = info.module.classes[parts[-1]]
+                if resolved is not None and resolved is not info:
+                    info.base_classes.append(resolved)
+                    if resolved.name == COMPONENT_BASE:
+                        info.inherits_root = True
+                elif parts[-1] == COMPONENT_BASE:
+                    info.inherits_root = True
+
+        # Component detection to a fixpoint over ALL modules: a class is
+        # a component if it declares a type, names PersistentComponent as
+        # a base, or inherits (transitively, cross-module) a component.
+        changed = True
+        while changed:
+            changed = False
+            for info in all_classes:
+                if info.is_component:
+                    continue
+                is_component = (
+                    info.declared is not None
+                    or info.inherits_root
+                    or any(base.is_component for base in info.base_classes)
+                )
+                if is_component:
+                    info.is_component = True
+                    changed = True
+
+        # Effective declared type mirrors the runtime's getattr lookup:
+        # own decorator wins, else the nearest decorated ancestor.
+        for info in all_classes:
+            info.effective_declared = info.declared
+            if info.effective_declared is None:
+                for base in info.ancestors():
+                    if base.declared is not None:
+                        info.effective_declared = base.declared
+                        break
+
+    # -- views ----------------------------------------------------------
+    def component_classes(self) -> list[ClassInfo]:
+        return [
+            info
+            for module in self.modules.values()
+            for info in module.classes.values()
+            if info.is_component
+        ]
+
+    def component_types_for(self, module: ModuleInfo) -> dict[str, str | None]:
+        """Per-module ``class name -> declared type`` map (lint view).
+
+        Uses the *effective* declared type so a subclass of a decorated
+        class (possibly in another module) is checked under the type it
+        actually runs as.
+        """
+        return {
+            name: info.effective_declared
+            for name, info in module.classes.items()
+            if info.is_component
+        }
+
+
+def iter_py_files(paths: list[str | Path]) -> list[Path]:
+    """Files and (recursively, sorted) directories of ``.py`` files."""
+    out: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        else:
+            out.append(path)
+    return out

@@ -80,6 +80,34 @@ _RULES = [
         "Section 3.3 (read-only methods must not change component "
         "state)",
     ),
+    # PHX010-012 come from the whole-program inference engine
+    # (repro-analyze infer), not the per-file lint pass.
+    Rule(
+        "PHX010",
+        "declared component type is provably unsafe",
+        "the finding message names the safe declaration; stateless and "
+        "read-only components must never carry or write state the "
+        "protocol would not recover",
+        "Sections 3.1-3.3 (each type's safety argument; Algorithms 2-5 "
+        "log strictly less for cheaper types)",
+    ),
+    Rule(
+        "PHX011",
+        "a provably safe cheaper component type is available",
+        "downgrade the declaration as the finding message describes to "
+        "save the quoted forces/records per call (or suppress with a "
+        "pragma if the costlier type is deliberate)",
+        "Sections 3.2-3.3, Table 8 (cheapest safe type wins the "
+        "logging comparison)",
+    ),
+    Rule(
+        "PHX012",
+        "method eligible for @read_only_method marking",
+        "mark the method @read_only_method so Algorithm 5 can skip the "
+        "caller's force and the callee's log record (or suppress with "
+        "a pragma if the marking is deliberately withheld)",
+        "Section 3.3, Algorithms 4-5 (read-only call optimization)",
+    ),
 ]
 
 RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}

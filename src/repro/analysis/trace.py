@@ -60,6 +60,9 @@ class TraceEvent:
     #: a crash unwound out of this decision's force: the record (if any)
     #: was appended but the message never left the process
     interrupted: bool = False
+    #: the called method, for call messages (1 and 3); replies carry
+    #: ``None``.  TRC106 keys its per-span force bounds on this.
+    method: str | None = None
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from ..common.messages import MessageKind
 from ..common.types import ComponentType
 from ..log.records import MessageRecord
-from .trace import NO_LSN, ProtocolTrace, TraceEvent
+from .trace import NO_LSN, CrashMark, ProtocolTrace, TraceEvent
 
 INVARIANTS: dict[str, str] = {
     "TRC101": "Algorithm 2: log receives unforced; force before sends",
@@ -45,6 +45,8 @@ INVARIANTS: dict[str, str] = {
               "unforced",
     "TRC104": "trace and stable stream agree record-for-record",
     "TRC105": "replay/retry regenerates identical records",
+    "TRC106": "observed forces per call span stay within the static "
+              "cost-model bound",
 }
 
 
@@ -277,6 +279,147 @@ def _cross_check(
                 "produced by any surviving policy decision",
             ))
     return out
+
+
+# ----------------------------------------------------------------------
+# static force-bound cross-check (TRC106)
+# ----------------------------------------------------------------------
+def _top_level_spans(
+    entries: list,
+) -> list[tuple[TraceEvent, list[TraceEvent]]]:
+    """Closed top-level call spans of one process trace.
+
+    A span runs from an ``INCOMING_CALL`` at nesting depth zero to its
+    matching ``REPLY_TO_INCOMING`` (same-process nested calls push and
+    pop context frames in between; execution is synchronous, so every
+    event in the window belongs to the span).  Crashes and interrupted
+    decisions unwind the open span, which is discarded: its force count
+    is partial and the bound says nothing about it.
+    """
+    spans: list[tuple[TraceEvent, list[TraceEvent]]] = []
+    stack: list[int] = []
+    entry_event: TraceEvent | None = None
+    current: list[TraceEvent] = []
+    for item in entries:
+        if isinstance(item, CrashMark):
+            stack, entry_event, current = [], None, []
+            continue
+        event = item
+        if entry_event is None:
+            if (
+                event.kind is MessageKind.INCOMING_CALL
+                and not event.interrupted
+            ):
+                entry_event = event
+                current = [event]
+                stack = [event.context_id]
+            continue
+        current.append(event)
+        if event.interrupted:
+            stack, entry_event, current = [], None, []
+            continue
+        if event.kind is MessageKind.INCOMING_CALL:
+            stack.append(event.context_id)
+        elif event.kind is MessageKind.REPLY_TO_INCOMING:
+            if not stack or stack[-1] != event.context_id:
+                # mismatched nesting — give up on this span
+                stack, entry_event, current = [], None, []
+                continue
+            stack.pop()
+            if not stack:
+                spans.append((entry_event, current))
+                entry_event, current = None, []
+    return spans
+
+
+def _entry_force_bound(event: TraceEvent) -> int:
+    """Max forces Algorithms 1-5 allow for the entry call's own
+    message-1/message-2 pair, from the entry event's flags."""
+    if not event.optimized:
+        return 2  # Algorithm 1 forces both
+    if event.context_type.is_stateless:
+        return 0  # Algorithms 4/5: stateless server logs nothing
+    if event.peer_type is ComponentType.READ_ONLY or (
+        event.method_read_only and event.read_only_opt
+    ):
+        return 0  # Algorithm 5
+    if event.peer_type is ComponentType.EXTERNAL:
+        return 2  # Algorithm 3 forces messages 1 and 2
+    return 1  # Algorithm 2: unforced receive, one pre-reply force
+
+
+def check_force_bounds(
+    trace: ProtocolTrace, bounds, process_name: str
+) -> list[Violation]:
+    """TRC106: replay the trace's call spans against the static cost
+    model (``CostModel.force_bounds()``; any object with a
+    ``for_span(process, method) -> ratios`` lookup works).
+
+    Per closed span the sound bound is ``entry_forces + ratio ×
+    (events - 2)`` — every intercepted call contributes at least two
+    span events and at most ``ratio`` forces per event (0 for
+    read-only/functional targets, 1/2 for persistent ones).  A forced
+    outgoing call whose server type was still *unknown* is Section
+    3.4's legitimate cold-start conservatism, not an over-force; each
+    such event earns one extra allowed force (warm-started runs have
+    none, so their bound is tighter).
+    """
+    violations: list[Violation] = []
+    for entry_event, events in _top_level_spans(trace.entries):
+        method = entry_event.method
+        if method is None:
+            continue
+        span = bounds.for_span(process_name, method)
+        if span is None:
+            continue  # not a statically modeled entry point
+        if not entry_event.optimized:
+            # Algorithm 1 forces every message regardless of types:
+            # one force per event, no cold-start concept
+            ratio, cold = 1.0, 0
+        else:
+            if entry_event.read_only_opt:
+                ratio = span.ratio_ro_on
+            else:
+                ratio = span.ratio_ro_off
+            cold = sum(
+                1
+                for event in events
+                if event.kind is MessageKind.OUTGOING_CALL
+                and event.peer_type is None
+                and event.forced
+            )
+        limit = (
+            _entry_force_bound(entry_event)
+            + cold
+            + ratio * max(0, len(events) - 2 - 2 * cold)
+        )
+        observed = sum(1 for event in events if event.forced)
+        if observed > limit + 1e-9:
+            anchor = (
+                entry_event.record_lsn
+                if entry_event.record_lsn != NO_LSN
+                else entry_event.end_lsn
+            )
+            violations.append(Violation(
+                "TRC106", anchor,
+                f"span {method}() on {process_name}: {observed} forces "
+                f"over {len(events)} events exceeds the static bound "
+                f"{limit:g} (ratio {ratio:g}, {cold} cold-start "
+                "forces allowed)",
+            ))
+    return violations
+
+
+def check_runtime_force_bounds(runtime, bounds) -> list[tuple[str, Violation]]:
+    """TRC106 over every process of a runtime."""
+    problems: list[tuple[str, Violation]] = []
+    for process in runtime.processes():
+        trace = getattr(process, "protocol_trace", None)
+        if trace is None:
+            continue
+        for violation in check_force_bounds(trace, bounds, process.name):
+            problems.append((process.name, violation))
+    return problems
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ from .ablations import (
     force_combining_ablation,
     log_gc_ablation,
     short_record_ablation,
+    static_type_seeding_ablation,
 )
 from .checkpoint_sweep import checkpoint_interval_sweep
 from .comparison import queue_comparison
@@ -43,6 +44,7 @@ __all__ = [
     "short_record_ablation",
     "force_combining_ablation",
     "log_gc_ablation",
+    "static_type_seeding_ablation",
     "recovery_empty_log",
     "run_pair",
     "MicrobenchResult",

@@ -20,6 +20,7 @@ from .ablations import (
     force_combining_ablation,
     log_gc_ablation,
     short_record_ablation,
+    static_type_seeding_ablation,
 )
 from .checkpoint_sweep import checkpoint_interval_sweep
 from .comparison import queue_comparison
@@ -90,6 +91,15 @@ _DISCUSSION = """
 - **Multi-call** (Section 3.5) — implemented here although the paper's
   prototype did not: fan-out forces collapse from k+1 to a constant 2,
   the paper's §5.5.2 prediction for the PriceGrabber.
+- **Static type seeding** (extension) — Section 3.4 learns server
+  types from reply attachments, so a process's first call to each
+  server pays conservative Algorithm 2/3 costs.  Warm-starting the
+  remote type table from the statically verified declarations
+  (`repro-analyze infer --check` gates them; `config.
+  static_type_seeding` trusts them) removes every unknown-peer call
+  and its cold-start force requests and attachment bytes, with
+  byte-identical logs when the flag is off and identical replies when
+  it is on.
 
 ## Known modelling divergences
 
@@ -129,6 +139,8 @@ def main(argv: list[str]) -> int:
         ("Ablation: force combining (Section 3.1.1)",
          force_combining_ablation),
         ("Ablation: log garbage collection (extension)", log_gc_ablation),
+        ("Ablation: static type seeding (extension)",
+         static_type_seeding_ablation),
         ("Checkpoint-interval sweep (Section 4.3)",
          checkpoint_interval_sweep),
     ]

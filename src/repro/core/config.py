@@ -61,6 +61,14 @@ class RuntimeConfig:
     # identity, the server omits the type attachment in its reply.
     reply_attachment_omission: bool = True
 
+    # Warm-start the remote component type table from the static type
+    # directory (the declared types `repro-analyze infer` verifies
+    # against the whole-program fixpoint) instead of learning each
+    # server's type from its first reply.  Off by default: the learned
+    # cold-start path is the paper's Section 3.4 behavior, and the
+    # benchmark tables are calibrated against it.
+    static_type_seeding: bool = False
+
     # Section 4: checkpointing.
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
 

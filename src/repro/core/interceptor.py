@@ -285,6 +285,17 @@ class MessageInterceptor:
         """
         context = self.context
         remote_types = self._process.remote_types
+        if (
+            self._process.config.static_type_seeding
+            and not remote_types.knows(target_uri)
+        ):
+            # Warm start: adopt the statically verified declared type
+            # instead of Section 3.4's conservative first-call handling.
+            seeded = self._process.runtime.static_type_for(target_uri)
+            if seeded is not None:
+                remote_types.seed(
+                    target_uri, seeded[0], read_only_methods=seeded[1]
+                )
         server_type = remote_types.known_type(target_uri)
         method_ro = remote_types.method_read_only(target_uri, method)
 

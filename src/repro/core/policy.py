@@ -141,6 +141,7 @@ class LoggingPolicy:
         decision: LogDecision,
         multicall_skip: bool = False,
         interrupted: bool = False,
+        method: str | None = None,
     ) -> LogDecision:
         """Journal the decision on the process's protocol trace (pure
         observation: the conformance checker replays these against the
@@ -164,6 +165,7 @@ class LoggingPolicy:
                 end_lsn=log.end_lsn,
                 stable_lsn=log.stable_lsn,
                 interrupted=interrupted,
+                method=method,
             ))
         return decision
 
@@ -185,11 +187,12 @@ class LoggingPolicy:
             self._trace(
                 context, MessageKind.INCOMING_CALL, client_type,
                 method_read_only, exc.decision, interrupted=True,
+                method=message.method,
             )
             raise exc.signal from None
         return self._trace(
             context, MessageKind.INCOMING_CALL, client_type,
-            method_read_only, decision,
+            method_read_only, decision, method=message.method,
         )
 
     def _incoming_call(
@@ -303,11 +306,13 @@ class LoggingPolicy:
             self._trace(
                 context, MessageKind.OUTGOING_CALL, server_type,
                 method_read_only, exc.decision, interrupted=True,
+                method=message.method,
             )
             raise exc.signal from None
         return self._trace(
             context, MessageKind.OUTGOING_CALL, server_type,
             method_read_only, decision, multicall_skip=multicall_skip,
+            method=message.method,
         )
 
     def _outgoing_call(

@@ -27,7 +27,7 @@ from ..errors import (
 from ..faults import plane as faultplane
 from ..log.log_manager import LogManager
 from ..log.records import CreationRecord
-from .attributes import declared_type
+from .attributes import declared_type, read_only_method_names
 from .component import PersistentComponent
 from .config import RuntimeConfig
 from .context import Context
@@ -202,6 +202,12 @@ class AppProcess:
         lid = self._next_component_lid
         self._next_component_lid += 1
         uri = component_uri(self.machine.name, self.name, lid)
+        if ctype.is_phoenix:
+            # feed the static type directory (consulted only when
+            # config.static_type_seeding is on; see RuntimeConfig)
+            self.runtime.note_static_type(
+                uri, ctype, read_only_method_names(cls)
+            )
         interceptors = (
             bool(install_interceptors)
             if not ctype.is_phoenix

@@ -70,10 +70,20 @@ class RemoteComponentTypeTable:
                 entry.non_read_only_methods.add(method)
                 entry.read_only_methods.discard(method)
 
-    def seed(self, uri: str, component_type: ComponentType) -> None:
-        """Install a type during recovery from a process checkpoint."""
+    def seed(
+        self,
+        uri: str,
+        component_type: ComponentType,
+        read_only_methods: frozenset[str] | None = None,
+    ) -> None:
+        """Install a type without a reply having taught it: during
+        recovery from a process checkpoint, or from the static type
+        directory when warm-starting (``config.static_type_seeding``)."""
         if uri not in self._entries:
-            self._entries[uri] = RemoteTypeEntry(component_type=component_type)
+            self._entries[uri] = RemoteTypeEntry(
+                component_type=component_type,
+                read_only_methods=set(read_only_methods or ()),
+            )
 
     def snapshot(self) -> list[tuple[str, ComponentType]]:
         """Type entries for a process checkpoint (method knowledge is a

@@ -72,6 +72,16 @@ class PhoenixRuntime:
         self._exec_stack: list[Context] = []
         self._processes: dict[tuple[str, str], AppProcess] = {}
 
+        #: uri -> (component type, read-only method names) for every
+        #: deployed Phoenix component.  Populated unconditionally at
+        #: creation (no clock charge, no log writes); consulted by the
+        #: interceptor only when ``config.static_type_seeding`` is on,
+        #: so the default cold-start runs are byte-identical with the
+        #: directory present.
+        self.static_type_directory: dict[
+            str, tuple[ComponentType, frozenset[str]]
+        ] = {}
+
         #: Where external (non-Phoenix) callers live.  ``None`` means
         #: external calls originate on the target's machine (the
         #: paper's "local" micro-benchmark columns); setting a machine
@@ -110,6 +120,21 @@ class PhoenixRuntime:
 
     def proxy_for(self, uri: str) -> ComponentProxy:
         return ComponentProxy(self, uri)
+
+    def note_static_type(
+        self,
+        uri: str,
+        component_type: ComponentType,
+        read_only_methods: frozenset[str],
+    ) -> None:
+        self.static_type_directory[uri] = (
+            component_type, read_only_methods,
+        )
+
+    def static_type_for(
+        self, uri: str
+    ) -> tuple[ComponentType, frozenset[str]] | None:
+        return self.static_type_directory.get(uri)
 
     # ------------------------------------------------------------------
     # execution stack (which context is running right now)

@@ -1,0 +1,31 @@
+"""Seeded misdeclaration: a ``@functional`` component mutating self.
+
+Inference input only — never imported by the test suite.  Stateless
+components are never recovered, so the mutated counter would be lost on
+failure; the engine must flag the *class* PHX010 with a fix-it
+(``tests/analysis/test_infer.py``).  The AST lint's PHX006 separately
+flags the mutating lines themselves.
+"""
+
+from repro.core.attributes import functional
+from repro.core.component import PersistentComponent
+
+
+@functional
+class Tally(PersistentComponent):  # expect: PHX010
+    def __init__(self):
+        self.count = 0  # allowed: construction
+
+    def bump(self):
+        self.count += 1
+        return self.count
+
+
+@functional
+class TallySuppressed(PersistentComponent):  # phx: disable=PHX010
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+        return self.count

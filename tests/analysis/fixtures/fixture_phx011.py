@@ -1,0 +1,30 @@
+"""Seeded over-declaration: a stateless ``@persistent`` component.
+
+Inference input only — never imported by the test suite.  RateSheet
+never mutates itself and calls no components, so ``@functional`` is
+safe and strictly cheaper (Algorithm 4 logs nothing on either side);
+the engine must propose the downgrade as PHX011.
+"""
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+
+_RATES = {"wa": 0.095, "ca": 0.0725}
+
+
+@persistent
+class RateSheet(PersistentComponent):  # expect: PHX011
+    def lookup(self, region):
+        return _RATES.get(region, 0.05)
+
+
+@persistent
+class RateSheetSuppressed(PersistentComponent):  # phx: disable=PHX011
+    def lookup(self, region):
+        return _RATES.get(region, 0.05)
+
+
+def deploy(runtime):
+    process = runtime.spawn_process("rates", machine="alpha")
+    process.create_component(RateSheetSuppressed)
+    return process.create_component(RateSheet)

@@ -1,0 +1,50 @@
+"""Seeded missing marking: a write-free method of a stateful persistent
+component, called through a proxy, without ``@read_only_method``.
+
+Inference input only — never imported by the test suite.  ``put`` makes
+Vault genuinely stateful (so no PHX011 downgrade applies), but ``peek``
+never writes and has an intercepted caller: marking it lets Algorithm 5
+skip the caller's force and the callee's record, so the engine must
+flag the *method* PHX012.
+"""
+
+from repro.core.attributes import persistent
+from repro.core.component import PersistentComponent
+
+
+@persistent
+class Vault(PersistentComponent):
+    def __init__(self):
+        self.entries = []
+
+    def put(self, item):
+        self.entries.append(item)
+        return len(self.entries)
+
+    def peek(self):  # expect: PHX012
+        return list(self.entries)
+
+    def peek_quietly(self):  # phx: disable=PHX012
+        return list(self.entries)
+
+
+@persistent
+class VaultClient(PersistentComponent):
+    def __init__(self, vault):
+        self.vault = vault
+
+    def store(self, item):
+        return self.vault.put(item)
+
+    def read(self):
+        return self.vault.peek()
+
+    def read_quietly(self):
+        return self.vault.peek_quietly()
+
+
+def deploy(runtime):
+    server = runtime.spawn_process("vault", machine="alpha")
+    vault = server.create_component(Vault)
+    client = runtime.spawn_process("client", machine="beta")
+    return client.create_component(VaultClient, args=(vault,))

@@ -1,0 +1,94 @@
+"""The ``repro-analyze`` command line: exit codes and output formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+APPS = str(Path(__file__).resolve().parents[2] / "src" / "repro" / "apps")
+
+
+class TestLintFormats:
+    def test_json_clean(self, capsys):
+        assert main(["lint", "--format", "json", APPS]) == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": []}
+
+    def test_json_findings_carry_fixit_and_paper_ref(self, capsys):
+        fixture = str(FIXTURES / "fixture_phx001.py")
+        assert main(["lint", "--format", "json", fixture]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+        finding = payload["findings"][0]
+        assert finding["rule_id"] == "PHX001"
+        assert finding["fixit"]
+        assert finding["paper_ref"]
+
+    def test_sarif_envelope(self, capsys):
+        fixture = str(FIXTURES / "fixture_phx001.py")
+        assert main(["lint", "--format", "sarif", fixture]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} == {
+            result["ruleId"] for result in run["results"]
+        }
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "fixture_phx001.py"
+        )
+        assert location["region"]["startLine"] > 0
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+
+
+class TestInfer:
+    def test_check_clean_on_the_shipping_apps(self, capsys):
+        assert main(["infer", "--check", APPS]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_fails_on_a_misdeclaration(self, capsys):
+        fixture = str(FIXTURES / "fixture_phx010.py")
+        assert main(["infer", "--check", fixture]) == 1
+        assert "PHX010" in capsys.readouterr().out
+
+    def test_table_lists_every_class(self, capsys):
+        assert main(["infer", APPS]) == 0
+        out = capsys.readouterr().out
+        for name in ("OrderDesk", "FraudScreen", "PriceGrabberPersistent"):
+            assert name in out
+
+    def test_json_reports_and_findings(self, capsys):
+        fixture = str(FIXTURES / "fixture_phx011.py")
+        assert main(["infer", "--format", "json", fixture]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {
+            entry["class"].rsplit(".", 1)[-1]: entry
+            for entry in payload["classes"]
+        }
+        assert by_name["RateSheet"]["inferred"] == "functional"
+        assert by_name["RateSheet"]["agrees"] is False
+        assert payload["findings"][0]["rule_id"] == "PHX011"
+
+
+class TestCost:
+    def test_json_is_the_machine_readable_default(self, capsys):
+        assert main(["cost", APPS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {
+            (path["entry"], path["method"]) for path in payload["paths"]
+        }
+        assert ("OrderDesk", "place_order") in entries
+        assert payload["force_bounds"]["bounds"]
+
+    def test_text_table(self, capsys):
+        assert main(["cost", "--format", "text", APPS]) == 0
+        out = capsys.readouterr().out
+        assert "OrderDesk.place_order()" in out
+        assert "baseline" in out

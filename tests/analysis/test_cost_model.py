@@ -1,0 +1,142 @@
+"""The static force-cost model (docs/internals.md section 10).
+
+Prices one external invocation of every exported call path under
+Algorithm 1 and under Algorithms 2-5 + the Section 3.5 multi-call rule,
+and exports the per-span force bounds TRC106 checks traces against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.infer import build_cost_model
+from repro.analysis.model import ProgramModel, iter_py_files
+
+APPS = Path(__file__).resolve().parents[2] / "src" / "repro" / "apps"
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    model = ProgramModel.from_paths(list(iter_py_files([APPS])))
+    return build_cost_model(model)
+
+
+@pytest.fixture(scope="module")
+def paths(cost_model):
+    return {
+        (entry["entry"], entry["method"]): entry
+        for entry in cost_model.report()["paths"]
+    }
+
+
+class TestPathCosts:
+    def test_every_instantiated_public_method_is_priced(self, paths):
+        assert ("OrderDesk", "place_order") in paths
+        assert ("Bookstore", "search") in paths
+        # subordinates are not externally callable entry points
+        assert not any(entry == "OrderBook" for entry, __ in paths)
+
+    def test_optimized_never_costs_more_than_baseline(self, paths):
+        for (entry, method), path in paths.items():
+            assert (
+                path["optimized"]["forces"] <= path["baseline"]["forces"]
+            ), f"{entry}.{method}"
+            assert (
+                path["optimized"]["records"] <= path["baseline"]["records"]
+            ), f"{entry}.{method}"
+
+    def test_read_only_entry_is_force_free_optimized(self, paths):
+        # Bookstore.search is @read_only_method on a persistent server:
+        # Algorithm 5 costs the external caller nothing at the entry
+        path = paths[("Bookstore", "search")]
+        assert path["baseline"]["forces"] == 2
+        assert path["optimized"]["forces"] == 0
+
+    def test_stateless_fanout_is_force_free_optimized(self, paths):
+        # FraudScreen (read_only) consults the ledger's read-only
+        # methods: the whole span is Algorithm 4/5 territory
+        path = paths[("FraudScreen", "check")]
+        assert path["baseline"]["forces"] == 10
+        assert path["optimized"]["forces"] == 0
+
+    def test_place_order_pipeline(self, paths):
+        # price (functional) + fraud (read_only) + reserve/charge
+        # (persistent) + subordinate record: Algorithm 1 forces every
+        # message of every hop; Algorithms 2-5 keep only the stateful
+        # edges and the external entry
+        path = paths[("OrderDesk", "place_order")]
+        assert path["baseline"]["forces"] == 26
+        assert path["optimized"]["forces"] == 6
+        # two distinct server processes under split_backend: the §3.5
+        # rule skips one force per extra new process
+        assert path["multicall_saved_forces"] == 1
+
+    def test_loop_edges_priced_per_iteration(self, paths):
+        grabber = paths[("PriceGrabber", "search")]
+        assert grabber["loop_edges"] == 1
+        assert grabber["optimized"]["forces"] == 0  # read-only fan-out
+        cancel = paths[("OrderDesk", "cancel_order")]
+        assert cancel["loop_edges"] == 2
+        assert cancel["per_extra_iteration"]["forces"] > 0
+
+    def test_edges_carry_resolved_targets(self, paths):
+        edges = paths[("OrderDesk", "place_order")]["edges"]
+        by_target = {
+            target: edge["category"]
+            for edge in edges
+            for target in edge["targets"]
+        }
+        assert by_target["PricingEngine"] == "functional"
+        assert by_target["FraudScreen"] == "read_only"
+        assert by_target["Inventory"] == "persistent"
+        assert by_target["CustomerLedger"] == "persistent"
+
+
+class TestForceBounds:
+    @pytest.fixture(scope="class")
+    def bounds(self, cost_model):
+        return cost_model.force_bounds()
+
+    def test_every_deployed_entry_gets_a_bound(self, bounds):
+        assert len(bounds) > 0
+        assert bounds.for_span("orderflow-desk", "place_order")
+        assert bounds.for_span("bookstore-app", "search")
+        assert bounds.for_span("nowhere", "nothing") is None
+
+    def test_read_only_fanout_ratio_depends_on_the_optimization(
+        self, bounds
+    ):
+        # search's only edges hit read-only methods: force-free when
+        # the read-only-method optimization is on, half-rate when off
+        span = bounds.for_span("bookstore-app", "search")
+        assert span.ratio_ro_on == 0.0
+        assert span.ratio_ro_off == 0.5
+
+    def test_persistent_fanout_keeps_the_ratio(self, bounds):
+        span = bounds.for_span("orderflow-desk", "place_order")
+        assert span.ratio_ro_on == 0.5
+        assert span.ratio_ro_off == 0.5
+
+    def test_functional_fanout_is_free_either_way(self, bounds):
+        span = bounds.for_span("orderflow-backend", "quote")
+        assert span.ratio_ro_on == 0.0
+        assert span.ratio_ro_off == 0.0
+
+    def test_split_tier_gets_its_own_spans(self, bounds):
+        # CustomerLedger deploys to either process depending on
+        # split_backend; both placements carry bounds
+        for process in ("orderflow-backend", "orderflow-ledger"):
+            span = bounds.for_span(process, "check")
+            assert span is not None
+            assert span.ratio_ro_on == 0.0
+            assert span.ratio_ro_off == 0.5
+
+    def test_serializes_for_the_cli(self, bounds):
+        table = bounds.to_dict()
+        assert len(table["bounds"]) == len(bounds)
+        sample = table["bounds"][0]
+        assert {
+            "process", "method", "classes", "ratio_ro_on", "ratio_ro_off"
+        } <= set(sample)

@@ -1,0 +1,213 @@
+"""Whole-program component-type inference (docs/internals.md section 10).
+
+Three layers of coverage:
+
+* the deployed apps — every class classified, every declaration either
+  agreed with or deliberately pragma'd (the CI gate `make infer`);
+* seeded-misdeclaration fixtures — PHX010/011/012 fire at the marked
+  line with a fix-it, and the pragma silences each;
+* the wiring interpreter — processes, constructor-proxy flow, escapes.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.infer import build_wiring, run_inference
+from repro.analysis.model import ProgramModel, iter_py_files
+
+FIXTURES = Path(__file__).parent / "fixtures"
+APPS = Path(__file__).resolve().parents[2] / "src" / "repro" / "apps"
+
+
+@pytest.fixture(scope="module")
+def apps_result():
+    model = ProgramModel.from_paths(list(iter_py_files([APPS])))
+    return run_inference(model)
+
+
+def infer_fixture(rule_id: str, transform=None):
+    path = FIXTURES / f"fixture_{rule_id.lower()}.py"
+    source = path.read_text()
+    if transform is not None:
+        source = transform(source)
+    return run_inference(ProgramModel.from_source(source, str(path)))
+
+
+# ----------------------------------------------------------------------
+# the deployed apps
+# ----------------------------------------------------------------------
+EXPECTED_TYPES = {
+    # bookstore (apps/bookstore/components.py)
+    "Bookstore": "persistent",
+    "PriceGrabber": "read_only",
+    "PriceGrabberPersistent": "read_only",  # declared persistent, pragma'd
+    "TaxCalculator": "functional",
+    "TaxCalculatorPersistent": "functional",  # declared persistent, pragma'd
+    "ShoppingBasket": "subordinate",
+    "ShoppingBasketPersistent": "persistent",
+    "BasketManager": "subordinate",
+    "BasketManagerPersistent": "persistent",
+    "BookSeller": "persistent",
+    "BookSellerRemoteBaskets": "persistent",
+    # orderflow (apps/orderflow/components.py)
+    "Inventory": "persistent",
+    "CustomerLedger": "persistent",
+    "PricingEngine": "functional",
+    "FraudScreen": "read_only",
+    "OrderDesk": "persistent",
+    "OrderBook": "subordinate",
+}
+
+
+class TestAppClassification:
+    def test_every_component_class_is_classified(self, apps_result):
+        names = {report.info.name for report in apps_result.reports}
+        assert names == set(EXPECTED_TYPES)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_TYPES))
+    def test_inferred_type(self, apps_result, name):
+        report = apps_result.report_for(name)
+        assert report.inferred == EXPECTED_TYPES[name]
+
+    def test_no_unsuppressed_findings(self, apps_result):
+        # the property `make infer` gates on: the shipping apps carry
+        # no declaration the engine disputes without a pragma
+        assert apps_result.findings == []
+
+    def test_correct_declarations_agree_outright(self, apps_result):
+        # the deliberate Table-8 baseline variants disagree by design
+        # (their findings are pragma'd); every other declaration is
+        # exactly the inferred cheapest safe type
+        deliberate = {
+            "PriceGrabberPersistent",
+            "TaxCalculatorPersistent",
+            "ShoppingBasketPersistent",
+            "BasketManagerPersistent",
+        }
+        for report in apps_result.reports:
+            if report.info.name in deliberate:
+                assert report.declared == "persistent"
+                assert report.agrees  # pragma accepted, gate passes
+            else:
+                assert report.declared == report.inferred, report.info.name
+
+    def test_stateless_classification_is_grounded(self, apps_result):
+        assert apps_result.report_for("FraudScreen").read_only_eligible
+        assert not apps_result.report_for("FraudScreen").stateful
+        assert apps_result.report_for("Inventory").stateful
+        assert apps_result.report_for("TaxCalculator").functional_eligible
+
+    def test_read_only_method_candidates_surface(self, apps_result):
+        report = apps_result.report_for("CustomerLedger")
+        assert {"limit", "exposure"} <= report.write_free_methods
+        assert "charge" not in report.write_free_methods
+
+
+# ----------------------------------------------------------------------
+# seeded misdeclarations (inference input only, never imported)
+# ----------------------------------------------------------------------
+def marked_lines(rule_id: str, marker: str) -> list[int]:
+    path = FIXTURES / f"fixture_{rule_id.lower()}.py"
+    return [
+        number
+        for number, text in enumerate(
+            path.read_text().splitlines(), start=1
+        )
+        if marker in text
+    ]
+
+
+class TestSeededMisdeclarations:
+    @pytest.mark.parametrize("rule_id", ["PHX010", "PHX011", "PHX012"])
+    def test_fires_with_right_id_line_and_nothing_else(self, rule_id):
+        result = infer_fixture(rule_id)
+        expected = marked_lines(rule_id, f"# expect: {rule_id}")
+        assert expected
+        assert [
+            (finding.rule_id, finding.line)
+            for finding in result.findings
+        ] == [(rule_id, line) for line in expected]
+
+    def test_phx010_names_the_mutation_and_carries_a_fixit(self):
+        (finding,) = infer_fixture("PHX010").findings
+        assert "mutates self" in finding.message
+        assert "bump()" in finding.message
+        assert "Fix:" in finding.message
+        assert "[fix:" in finding.render()
+
+    def test_phx010_marks_the_class_as_disagreeing(self):
+        result = infer_fixture("PHX010")
+        assert result.report_for("Tally").agrees is False
+        assert result.report_for("Tally").inferred == "persistent"
+
+    def test_phx011_quotes_the_saving(self):
+        (finding,) = infer_fixture("PHX011").findings
+        assert "@functional is safe" in finding.message
+        assert "force" in finding.message
+
+    def test_phx012_names_caller_and_marking(self):
+        (finding,) = infer_fixture("PHX012").findings
+        assert "Vault.peek()" in finding.message
+        assert "VaultClient" in finding.message
+        assert "@read_only_method" in finding.message
+
+    @pytest.mark.parametrize("rule_id", ["PHX010", "PHX011", "PHX012"])
+    def test_stripping_the_pragma_resurfaces_the_twin(self, rule_id):
+        pragma_lines = marked_lines(rule_id, "phx: disable")
+        assert pragma_lines
+        stripped = infer_fixture(
+            rule_id,
+            lambda source: re.sub(
+                r"#\s*phx:\s*disable[^\n]*", "", source
+            ),
+        )
+        fired = {
+            (finding.rule_id, finding.line)
+            for finding in stripped.findings
+        }
+        for line in pragma_lines:
+            assert (rule_id, line) in fired
+
+
+# ----------------------------------------------------------------------
+# the wiring interpreter
+# ----------------------------------------------------------------------
+class TestWiring:
+    @pytest.fixture(scope="class")
+    def wiring(self):
+        model = ProgramModel.from_paths(list(iter_py_files([APPS])))
+        return build_wiring(model)
+
+    def test_processes_follow_spawn_names(self, wiring):
+        assert wiring.processes_for("OrderDesk") == {"orderflow-desk"}
+        assert wiring.processes_for("Inventory") == {"orderflow-backend"}
+
+    def test_conditional_process_placement_is_unioned(self, wiring):
+        # deploy_orderflow(split_backend=...) picks the ledger process
+        # with a conditional; the abstract interpreter keeps both arms
+        assert wiring.processes_for("CustomerLedger") == {
+            "orderflow-backend",
+            "orderflow-ledger",
+        }
+
+    def test_constructor_proxy_flow(self, wiring):
+        arg_classes = wiring.arg_classes_for("OrderDesk")
+        flowing = set().union(*arg_classes.values())
+        assert {
+            "Inventory", "CustomerLedger", "PricingEngine", "FraudScreen"
+        } <= flowing
+        assert wiring.static_callers_of("Inventory") == {"OrderDesk"}
+
+    def test_app_handle_counts_as_escape(self, wiring):
+        # every component stored on the app-handle dataclass is
+        # client-reachable, so none qualifies as a subordinate
+        assert wiring.escapes("OrderDesk")
+        assert wiring.escapes("Inventory")
+
+    def test_subordinates_are_not_instantiated_by_wiring(self, wiring):
+        assert "OrderBook" not in wiring.instantiated_classes()
+        assert "ShoppingBasket" not in wiring.instantiated_classes()

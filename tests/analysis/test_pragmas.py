@@ -1,0 +1,188 @@
+"""Edge-case pins for the ``# phx: disable=`` pragma parser.
+
+Written *before* the component-detection refactor (the shared
+``analysis/model.py`` resolver) so the suppression semantics the lint
+shipped with stay fixed: multiple IDs, trailing prose after the ID
+list, def-line pragmas, and the (deliberate) non-suppression of a bare
+pragma sitting on a continuation line of a multi-line statement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lint import lint_source
+
+HEADER = (
+    "from repro.core import PersistentComponent, persistent\n"
+    "import random\n"
+)
+
+
+def findings_for(body: str) -> list:
+    return lint_source(HEADER + body, path="pragma_case.py")
+
+
+def rule_ids(body: str) -> list[str]:
+    return [finding.rule_id for finding in findings_for(body)]
+
+
+class TestMultipleIds:
+    def test_comma_separated_ids_suppress_each_listed_rule(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return open(str(random.random()))"
+            "  # phx: disable=PHX001, PHX002\n"
+        )
+        assert rule_ids(body) == []
+
+    def test_listing_one_id_leaves_the_other_rule_firing(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return open(str(random.random()))"
+            "  # phx: disable=PHX001\n"
+        )
+        assert rule_ids(body) == ["PHX002"]
+
+    def test_duplicate_and_padded_ids_are_tolerated(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random()"
+            "  # phx: disable= PHX001 , PHX001,\n"
+        )
+        assert rule_ids(body) == []
+
+
+class TestTrailingProse:
+    def test_lowercase_prose_after_the_id_list_is_ignored(self):
+        # The ID capture group stops at the first character outside
+        # [A-Z0-9_,\s]; lowercase justification prose is therefore inert.
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random()"
+            "  # phx: disable=PHX001 seeded by the test clock\n"
+        )
+        assert rule_ids(body) == []
+
+    def test_uppercase_token_without_comma_defeats_the_suppression(self):
+        # Pinned quirk: tokens are split on commas only, so an ALL-CAPS
+        # word after the ID (no comma) is glued onto it ("PHX001 TODO")
+        # and matches nothing — the pragma silently stops working.
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random()"
+            "  # phx: disable=PHX001 TODO revisit\n"
+        )
+        assert rule_ids(body) == ["PHX001"]
+
+    def test_prose_before_the_equals_degrades_to_disable_all(self):
+        # Pinned quirk: when the optional "= ids" part fails to match
+        # (prose between "disable" and "="), the pragma is read as a
+        # bare disable and suppresses every rule on the line.
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random()"
+            "  # phx: disable please=PHX001\n"
+        )
+        assert rule_ids(body) == []
+
+
+class TestBareDisable:
+    def test_bare_disable_suppresses_every_rule_on_the_line(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return open(str(random.random()))  # phx: disable\n"
+        )
+        assert rule_ids(body) == []
+
+    def test_bare_disable_on_the_def_line_covers_the_whole_function(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):  # phx: disable\n"
+            "        x = random.random()\n"
+            "        return open(str(x))\n"
+        )
+        assert rule_ids(body) == []
+
+    def test_def_line_ids_cover_only_the_listed_rules(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):  # phx: disable=PHX001\n"
+            "        x = random.random()\n"
+            "        return open(str(x))\n"
+        )
+        assert rule_ids(body) == ["PHX002"]
+
+
+class TestContinuationLines:
+    def test_bare_disable_on_a_continuation_line_does_not_suppress(self):
+        # Pinned quirk: suppression is keyed to the *first* line of the
+        # offending node (and the enclosing def line).  A pragma on a
+        # later physical line of a multi-line call is not consulted.
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random(\n"
+            "        )  # phx: disable\n"
+        )
+        assert rule_ids(body) == ["PHX001"]
+
+    def test_pragma_on_the_first_line_of_a_multiline_call_works(self):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random(  # phx: disable=PHX001\n"
+            "        )\n"
+        )
+        assert rule_ids(body) == []
+
+
+class TestScope:
+    def test_pragma_on_an_unrelated_line_does_not_leak(self):
+        body = (
+            "# phx: disable\n"
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            "        return random.random()\n"
+        )
+        assert rule_ids(body) == ["PHX001"]
+
+    @pytest.mark.parametrize(
+        ("ids", "expected"),
+        [
+            # bare disable: all rules suppressed
+            ("", []),
+            # pinned quirk: a dangling "=" fails the ID-list match and
+            # degrades to a bare disable-all
+            ("=", []),
+            # an explicit list of only separators suppresses nothing
+            ("=,,", ["PHX001"]),
+        ],
+    )
+    def test_empty_id_lists(self, ids, expected):
+        body = (
+            "@persistent\n"
+            "class C(PersistentComponent):\n"
+            "    def m(self):\n"
+            f"        return random.random()  # phx: disable{ids}\n"
+        )
+        assert rule_ids(body) == expected

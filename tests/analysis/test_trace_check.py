@@ -249,6 +249,8 @@ class TestTRC105ReplayDeterminism:
 
 class TestEveryInvariantIsCovered:
     def test_invariant_table_matches_tests(self):
+        # TRC106 (static force bounds) is covered by its own suite,
+        # tests/analysis/test_force_bounds.py
         assert sorted(INVARIANTS) == [
-            "TRC101", "TRC102", "TRC103", "TRC104", "TRC105"
+            "TRC101", "TRC102", "TRC103", "TRC104", "TRC105", "TRC106"
         ]
