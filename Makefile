@@ -1,7 +1,7 @@
 # Convenience targets (everything works offline).
 
 .PHONY: install test bench perf report examples all clean lint infer \
-	check sweep sweep-smoke
+	check sweep sweep-smoke concurrency
 
 install:
 	python setup.py develop
@@ -31,8 +31,15 @@ lint:
 infer:
 	PYTHONPATH=src python -m repro.analysis infer --check src/repro/apps
 
-check: lint infer
+check: lint infer concurrency
 	PYTHONPATH=src python -m pytest -x -q
+
+# Same-seed determinism gate (docs/internals.md section 11): the
+# concurrent bookstore workload runs twice under the deterministic
+# scheduler; stable logs, traces, clock and replies must be
+# byte-identical across the runs.
+concurrency:
+	PYTHONPATH=src python -m repro.concurrency
 
 # Deterministic crash-point sweep (docs/internals.md section 9): every
 # durability boundary of every workload, crash -> recover -> compare

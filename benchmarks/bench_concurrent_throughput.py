@@ -1,0 +1,48 @@
+"""Group commit under concurrent sessions (Section 5.2.2 on a shared log).
+
+N deterministic client sessions hammer one server process.  Without
+group commit every Algorithm-3 call performs exactly two stable writes,
+flat in N.  With group commit, forces that arrive within one
+disk-rotation window share a single write, so writes per call strictly
+decreases as sessions are added.
+"""
+
+from repro.concurrency.bench import bench_concurrent_throughput as experiment
+
+from conftest import run_experiment
+
+SESSION_COUNTS = (1, 2, 4, 8)
+CALLS_PER_SESSION = 6
+
+
+def bench_concurrent_throughput(benchmark):
+    table = run_experiment(
+        benchmark, experiment,
+        session_counts=SESSION_COUNTS, calls_per_session=CALLS_PER_SESSION,
+    )
+    off = {
+        int(label.split("=")[1]): cells[0].measured
+        for label, cells in table.rows
+    }
+    on = {
+        int(label.split("=")[1]): cells[1].measured
+        for label, cells in table.rows
+    }
+    batches = {
+        int(label.split("=")[1]): cells[2].measured
+        for label, cells in table.rows
+    }
+
+    # Without group commit the write count is exactly flat: two stable
+    # writes (forced message 1 + forced message 2) per call at every N.
+    assert all(off[n] == off[SESSION_COUNTS[0]] for n in SESSION_COUNTS)
+    assert off[SESSION_COUNTS[0]] == 2.0
+
+    # With group commit, writes per call strictly decreases with N.
+    ordered = [on[n] for n in SESSION_COUNTS]
+    assert all(b < a for a, b in zip(ordered, ordered[1:])), ordered
+
+    # A single session has nobody to share a window with: same number
+    # of writes as with the flag off (it only waits out the window).
+    assert on[1] == off[1]
+    assert batches[1] > 0

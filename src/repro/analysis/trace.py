@@ -63,6 +63,15 @@ class TraceEvent:
     #: the called method, for call messages (1 and 3); replies carry
     #: ``None``.  TRC106 keys its per-span force bounds on this.
     method: str | None = None
+    #: the deterministic-scheduler session serving this decision
+    #: (``None`` under the serial runtime); TRC106 partitions its span
+    #: walk by session so interleaved calls don't look nested
+    session: int | None = None
+    #: the end-LSN this decision's force was asked to make stable,
+    #: captured *before* forcing — under group commit the stable stream
+    #: may advance past it (a rider's write carries later appends), so
+    #: TRC101 checks stability against this rather than ``end_lsn``
+    commit_lsn: int | None = None
 
 
 @dataclass(frozen=True)

@@ -91,11 +91,21 @@ def _event_violations(event: TraceEvent) -> list[Violation]:
                            f"{event.wrote_record} short={event.short}")
 
     def expect_stable(invariant: str, why: str) -> None:
-        if event.stable_lsn < event.end_lsn:
+        # Under concurrent sessions ``end_lsn`` can include *another*
+        # session's appends sitting after our force; the decision's own
+        # commit point is what must be stable.  Serial decisions carry
+        # ``commit_lsn is None`` (or equal to ``end_lsn``), so this is
+        # the old check there.
+        target = (
+            event.commit_lsn
+            if event.commit_lsn is not None
+            else event.end_lsn
+        )
+        if event.stable_lsn < target:
             bad(invariant, f"message {kind.value} left with "
-                           f"{event.end_lsn - event.stable_lsn} unforced "
-                           f"bytes (stable {event.stable_lsn} < end "
-                           f"{event.end_lsn}): {why}")
+                           f"{target - event.stable_lsn} unforced "
+                           f"bytes (stable {event.stable_lsn} < commit "
+                           f"point {target}): {why}")
 
     def expect_unforced(invariant: str) -> None:
         if event.forced:
@@ -289,12 +299,42 @@ def _top_level_spans(
 ) -> list[tuple[TraceEvent, list[TraceEvent]]]:
     """Closed top-level call spans of one process trace.
 
-    A span runs from an ``INCOMING_CALL`` at nesting depth zero to its
+    Under the deterministic concurrent scheduler one process trace
+    interleaves decisions from several sessions; events within a session
+    are still synchronous, so the trace is first partitioned by
+    ``TraceEvent.session`` and the span walk runs per session.  A crash
+    wipes the whole process, so each :class:`CrashMark` fans out to
+    every session's stream.  Serial traces carry ``session=None``
+    throughout — one group, identical behavior to the ungrouped walk.
+    """
+    groups: dict[int | None, list] = {}
+    order: list[int | None] = []
+    for item in entries:
+        if isinstance(item, CrashMark):
+            for key in order:
+                groups[key].append(item)
+            continue
+        key = item.session
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = []
+            order.append(key)
+        group.append(item)
+    spans: list[tuple[TraceEvent, list[TraceEvent]]] = []
+    for key in order:
+        spans.extend(_session_spans(groups[key]))
+    return spans
+
+
+def _session_spans(
+    entries: list,
+) -> list[tuple[TraceEvent, list[TraceEvent]]]:
+    """Span walk over one session's (or a serial trace's) entries: a
+    span runs from an ``INCOMING_CALL`` at nesting depth zero to its
     matching ``REPLY_TO_INCOMING`` (same-process nested calls push and
-    pop context frames in between; execution is synchronous, so every
-    event in the window belongs to the span).  Crashes and interrupted
-    decisions unwind the open span, which is discarded: its force count
-    is partial and the bound says nothing about it.
+    pop context frames in between).  Crashes and interrupted decisions
+    unwind the open span, which is discarded: its force count is
+    partial and the bound says nothing about it.
     """
     spans: list[tuple[TraceEvent, list[TraceEvent]]] = []
     stack: list[int] = []

@@ -1,0 +1,16 @@
+"""Deterministic concurrent-session scheduling and group commit.
+
+See :mod:`repro.concurrency.scheduler` for the scheduling model and
+:mod:`repro.concurrency.bench` for the concurrent-throughput experiment
+(``benchmarks/bench_concurrent_throughput.py`` drives it).  Running the
+package (``python -m repro.concurrency``) executes the same-seed
+determinism check that ``make concurrency`` wires into CI.
+"""
+
+from .scheduler import DeterministicScheduler, GroupCommitBatch, SchedulerAbort
+
+__all__ = [
+    "DeterministicScheduler",
+    "GroupCommitBatch",
+    "SchedulerAbort",
+]

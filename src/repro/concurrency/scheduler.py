@@ -1,0 +1,443 @@
+"""Deterministic cooperative scheduling of N client sessions.
+
+The runtime is single-threaded by construction: every simulated cost is
+charged on one shared clock and every data structure assumes one call
+chain at a time.  This module adds concurrency *without* giving up
+determinism: each session runs on a real thread, but a turnstile
+guarantees exactly one thread is ever runnable, and the session to
+resume next is drawn from a seeded ``random.Random`` over the READY set.
+Two runs with the same seed (and the same session programs) therefore
+interleave identically — byte-identical logs, traces and clocks.
+
+Sessions switch only at explicit *yield points*, which the runtime
+places at every durability and network boundary:
+
+* ``log.append:<process>``  — before a record enters the log buffer;
+* ``log.force:<process>``   — after a force (and its disk write) completed;
+* ``net.request:<process>`` — after the request message was transmitted;
+* ``net.reply:<process>``   — after the reply was transmitted, before it
+  is returned to the caller.
+
+Between a session's append and the force that makes it stable there is
+deliberately *no* yield: the append+force pair is the unit the paper's
+commit conditions reason about.
+
+The scheduler also implements **group commit** (``config.group_commit``):
+force requests arriving within one disk-rotation window on the same
+process log join a shared :class:`GroupCommitBatch` and are satisfied by
+a single stable-store write, performed by the batch's first waiter (the
+leader) once the window closes.
+
+Crash handling: a session suspended inside a process that another
+session crashes is a *ghost* of a dead incarnation.  Each session keeps
+a stack of ``(process, crash_count)`` frames; on resume, a mismatch on
+the innermost frame raises a fresh :class:`CrashSignal` marked
+``stale=True`` — the process-boundary conversion in the runtime turns it
+into :class:`ComponentUnavailableError` *without* re-crashing the (by
+then possibly recovered) process.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from ..errors import CrashSignal, InvariantViolationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.context import Context
+    from ..core.process import AppProcess, ForceCoalescer
+    from ..core.runtime import PhoenixRuntime
+
+
+class SchedulerAbort(BaseException):
+    """Injected into suspended sessions when the run is torn down (one
+    session failed); derives from BaseException so application handlers
+    cannot swallow it."""
+
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class Session:
+    """One client session: a function running on its own (parked) thread."""
+
+    __slots__ = (
+        "index", "fn", "state", "event", "thread", "result", "error",
+        "predicate", "block_tag", "frames",
+    )
+
+    def __init__(self, index: int, fn: Callable[[], object]):
+        self.index = index
+        self.fn = fn
+        self.state = _READY
+        self.event = threading.Event()
+        self.thread: threading.Thread | None = None
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.predicate: Callable[[], bool] | None = None
+        self.block_tag: str | None = None
+        #: (process, crash_count at entry) for every process boundary the
+        #: session is currently inside, outermost first.
+        self.frames: list[tuple["AppProcess", int]] = []
+
+    def __repr__(self) -> str:
+        tag = f" at {self.block_tag}" if self.block_tag else ""
+        return f"Session(#{self.index}, {self.state}{tag})"
+
+
+class GroupCommitBatch:
+    """One shared in-flight group write against one process's log.
+
+    Two-phase completion: ``closed`` (the window expired; the leader may
+    write) then ``done`` (the write finished or failed; riders may
+    return).  The leader is the first waiter; riders block on ``done``
+    and report ``wrote=False`` exactly like a force whose bytes were
+    already flushed by someone else.
+    """
+
+    __slots__ = ("coalescer", "deadline", "seq", "waiters", "closed",
+                 "done", "error")
+
+    def __init__(
+        self, coalescer: "ForceCoalescer", deadline: float, seq: int
+    ):
+        self.coalescer = coalescer
+        self.deadline = deadline
+        self.seq = seq
+        self.waiters: list[int] = []
+        self.closed = False
+        self.done = False
+        self.error: BaseException | None = None
+
+
+class DeterministicScheduler:
+    """Seeded cooperative scheduler over a :class:`PhoenixRuntime`.
+
+    ``run(fns)`` executes the session functions interleaved and returns
+    their results in order; the first failing session aborts the rest
+    and its error is re-raised.  While a run is active the runtime's
+    ``sched_yield`` hooks route into :meth:`yield_point`.
+    """
+
+    def __init__(self, runtime: "PhoenixRuntime", seed: int = 0):
+        self.runtime = runtime
+        self.clock = runtime.clock
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.sessions: list[Session] = []
+        self._by_thread: dict[int, Session] = {}
+        self._main_event = threading.Event()
+        self._abort = False
+        self.active = False
+        self._batches: dict["ForceCoalescer", GroupCommitBatch] = {}
+        self._batch_seq = 0
+        self._recovery_drivers: dict["AppProcess", Session | None] = {}
+        runtime.scheduler = self
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def current_session(self) -> Session | None:
+        """The session owning the calling thread (None on the main
+        thread, or before/after a run)."""
+        return self._by_thread.get(threading.get_ident())
+
+    def current_session_id(self) -> int | None:
+        session = self.current_session()
+        return None if session is None else session.index
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+    def run(self, fns: list[Callable[[], object]]) -> list[object]:
+        if self.active:
+            raise InvariantViolationError("scheduler is already running")
+        self.sessions = [Session(i, fn) for i, fn in enumerate(fns)]
+        self.active = True
+        self._abort = False
+        for session in self.sessions:
+            thread = threading.Thread(
+                target=self._session_body,
+                args=(session,),
+                name=f"phx-session-{session.index}",
+                daemon=True,
+            )
+            session.thread = thread
+            thread.start()
+        try:
+            self._loop()
+        finally:
+            self._abort_survivors()
+            self.active = False
+            self._batches.clear()
+            self._recovery_drivers.clear()
+            self._by_thread.clear()
+            for session in self.sessions:
+                if session.thread is not None:
+                    session.thread.join(timeout=30)
+        for session in self.sessions:
+            if session.state == _FAILED and session.error is not None:
+                raise session.error
+        return [session.result for session in self.sessions]
+
+    def _loop(self) -> None:
+        while True:
+            live = [
+                s for s in self.sessions
+                if s.state not in (_DONE, _FAILED)
+            ]
+            if not live:
+                return
+            self._close_due_batches()
+            for session in live:
+                if (
+                    session.state == _BLOCKED
+                    and session.predicate is not None
+                    and session.predicate()
+                ):
+                    session.state = _READY
+            ready = [s for s in live if s.state == _READY]
+            if not ready:
+                # Everyone is blocked.  If a group-commit window is
+                # still open, the only missing event is simulated time:
+                # sleep to the earliest deadline and re-evaluate.
+                if self._sleep_to_next_batch():
+                    continue
+                raise InvariantViolationError(
+                    "scheduler deadlock: all sessions blocked: "
+                    + ", ".join(repr(s) for s in live)
+                )
+            chosen = ready[self._rng.randrange(len(ready))]
+            self._resume(chosen)
+            if chosen.state == _FAILED:
+                return
+
+    def _session_body(self, session: Session) -> None:
+        self._by_thread[threading.get_ident()] = session
+        session.event.wait()
+        session.event.clear()
+        try:
+            if self._abort:
+                raise SchedulerAbort()
+            session.result = session.fn()
+            session.state = _DONE
+        except SchedulerAbort:
+            session.state = _DONE
+        except BaseException as exc:  # noqa: BLE001 - reported to run()
+            session.error = exc
+            session.state = _FAILED
+        finally:
+            self._main_event.set()
+
+    def _resume(self, session: Session) -> None:
+        session.state = _RUNNING
+        self._main_event.clear()
+        session.event.set()
+        self._main_event.wait()
+
+    def _switch_to_main(self, session: Session, state: str, tag: str) -> None:
+        session.state = state
+        session.block_tag = tag
+        # Clear our own event BEFORE waking the main thread: the main
+        # loop resumes us by setting it, and a clear after that set
+        # would swallow the resume.
+        session.event.clear()
+        self._main_event.set()
+        session.event.wait()
+        session.event.clear()
+        session.block_tag = None
+        if self._abort:
+            raise SchedulerAbort()
+
+    def _abort_survivors(self) -> None:
+        self._abort = True
+        for session in self.sessions:
+            while session.state not in (_DONE, _FAILED):
+                self._resume(session)
+        self._abort = False
+
+    # ------------------------------------------------------------------
+    # yielding and blocking (called from session threads)
+    # ------------------------------------------------------------------
+    def yield_point(self, tag: str) -> None:
+        """Hand control back to the scheduler; a no-op on the main
+        thread and outside an active run."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return
+        self._switch_to_main(session, _READY, tag)
+        self._check_ghost(session)
+
+    def block_until(self, predicate: Callable[[], bool], tag: str) -> None:
+        """Suspend until ``predicate()`` holds.  Re-checked after every
+        resume: a promoted waiter may lose the race to another session
+        (e.g. two sessions waiting on one context claim)."""
+        session = self.current_session()
+        if session is None or not self.active:
+            if not predicate():
+                raise InvariantViolationError(
+                    f"main thread cannot block (waiting on {tag})"
+                )
+            return
+        while not predicate():
+            session.predicate = predicate
+            self._switch_to_main(session, _BLOCKED, tag)
+            session.predicate = None
+            self._check_ghost(session)
+
+    # ------------------------------------------------------------------
+    # process frames & ghost detection
+    # ------------------------------------------------------------------
+    def enter_process(self, process: "AppProcess") -> bool:
+        """Record that the current session entered ``process``; returns
+        whether a frame was pushed (sessions only)."""
+        session = self.current_session()
+        if session is None:
+            return False
+        session.frames.append((process, process.crash_count))
+        return True
+
+    def exit_process(self) -> None:
+        session = self.current_session()
+        if session is not None and session.frames:
+            session.frames.pop()
+
+    def _check_ghost(self, session: Session) -> None:
+        """Did the process this session is innermost-inside crash while
+        it was suspended?  Outer frames are deliberately not checked
+        here: an inner call in a live process is allowed to finish (the
+        crashed caller's replay will regenerate it with the same call
+        ID), and the outer frame's staleness is caught at the next yield
+        after the stack pops back to it."""
+        if not session.frames:
+            return
+        process, crash_count = session.frames[-1]
+        if process.crash_count != crash_count:
+            signal = CrashSignal(process.name, "interleaved crash")
+            signal.process = process
+            signal.stale = True
+            raise signal
+
+    # ------------------------------------------------------------------
+    # per-context admission (one serving session per context)
+    # ------------------------------------------------------------------
+    def acquire_context(self, context: "Context") -> bool:
+        """Claim exclusive service of ``context`` for the current
+        session; blocks while another session owns it.  Returns True
+        when a claim was taken (and must be released); False for main-
+        thread callers and same-session nesting (``begin_incoming``
+        reports genuine re-entrancy there)."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return False
+        if context.service_owner == session.index:
+            return False
+        while context.service_owner is not None:
+            self.block_until(
+                lambda: context.service_owner is None,
+                tag=f"context:{context.uri}",
+            )
+        context.service_owner = session.index
+        return True
+
+    def release_context(self, context: "Context") -> None:
+        session = self.current_session()
+        if session is not None and context.service_owner == session.index:
+            context.service_owner = None
+
+    # ------------------------------------------------------------------
+    # recovery driving
+    # ------------------------------------------------------------------
+    @contextmanager
+    def driving_recovery(self, process: "AppProcess") -> Iterator[None]:
+        """Mark the current session as the one driving ``process``'s
+        recovery; other sessions' deliveries to it park until the state
+        leaves RECOVERING."""
+        session = self.current_session()
+        self._recovery_drivers[process] = session
+        try:
+            yield
+        finally:
+            if self._recovery_drivers.get(process) is session:
+                del self._recovery_drivers[process]
+
+    def recovery_driver(self, process: "AppProcess") -> Session | None:
+        return self._recovery_drivers.get(process)
+
+    def is_recovery_driver(self, process: "AppProcess") -> bool:
+        return (
+            process in self._recovery_drivers
+            and self._recovery_drivers[process] is self.current_session()
+        )
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+    def group_force(self, coalescer: "ForceCoalescer") -> bool:
+        """Join (or open) the coalescer's group-commit batch.
+
+        The first waiter becomes the leader: it blocks until the window
+        closes, then performs the one shared write.  Later waiters are
+        riders: they block until the leader finished and return False
+        (their bytes rode the shared flush)."""
+        session = self.current_session()
+        if session is None:
+            return coalescer.serial_force()
+        batch = self._batches.get(coalescer)
+        if batch is None or batch.closed:
+            self._batch_seq += 1
+            batch = GroupCommitBatch(
+                coalescer,
+                deadline=self.clock.now + coalescer.group_window_ms(),
+                seq=self._batch_seq,
+            )
+            self._batches[coalescer] = batch
+            batch.waiters.append(session.index)
+            try:
+                self.block_until(
+                    lambda: batch.closed,
+                    tag=f"group-commit:{coalescer.log_name}",
+                )
+                return coalescer.execute_batch(len(batch.waiters) - 1)
+            except BaseException as exc:
+                batch.error = exc
+                raise
+            finally:
+                batch.done = True
+                if self._batches.get(coalescer) is batch:
+                    del self._batches[coalescer]
+        batch.waiters.append(session.index)
+        self.block_until(
+            lambda: batch.done, tag=f"group-ride:{coalescer.log_name}"
+        )
+        if batch.error is not None:
+            # The shared write died.  The rider's own ghost check above
+            # normally catches the crash first (it holds a frame for the
+            # same process); cover direct callers with a stale signal so
+            # the boundary converts without re-crashing the process.
+            signal = CrashSignal(coalescer.log_name, "group-commit write")
+            signal.process = coalescer.process
+            signal.stale = True
+            raise signal
+        return False
+
+    def _close_due_batches(self) -> None:
+        for batch in self._batches.values():
+            if not batch.closed and self.clock.now >= batch.deadline:
+                batch.closed = True
+
+    def _sleep_to_next_batch(self) -> bool:
+        open_batches = [b for b in self._batches.values() if not b.closed]
+        if not open_batches:
+            return False
+        earliest = min(open_batches, key=lambda b: (b.deadline, b.seq))
+        self.clock.sleep_until(earliest.deadline)
+        self._close_due_batches()
+        return True

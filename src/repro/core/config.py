@@ -79,6 +79,17 @@ class RuntimeConfig:
     max_call_retries: int = 8
     auto_recover: bool = True
 
+    # Group commit (extension): under the deterministic concurrent
+    # scheduler, force requests arriving within one window on the same
+    # process log share a single stable write.  Off by default — the
+    # serial benchmarks and Tables 4-8 are calibrated without it, and
+    # with the flag off the scheduler's output is byte-identical to the
+    # serial runtime.  The window defaults to one disk rotation
+    # (``RotationalDisk.group_commit_window_ms``); the override is in
+    # simulated milliseconds.
+    group_commit: bool = False
+    group_commit_window_ms: float | None = None
+
     @classmethod
     def baseline(cls, **overrides: object) -> "RuntimeConfig":
         """The IDEAS 2003 baseline system (Algorithm 1, no checkpoints)."""

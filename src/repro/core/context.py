@@ -48,12 +48,16 @@ class CurrentCall:
     Tracks the servers called so far during this method execution for
     the multi-call optimization (Section 3.5)."""
 
-    __slots__ = ("message", "servers_called", "forced_once")
+    __slots__ = ("message", "servers_called", "forced_once", "forced_watermark")
 
     def __init__(self, message: MethodCallMessage | None):
         self.message = message
         self.servers_called: set[str] = set()
         self.forced_once = False
+        # Highest LSN this call has itself forced through; the Section
+        # 3.5 skip is only sound when the log is stable at least this
+        # far (another session's unforced tail must not justify a skip).
+        self.forced_watermark = 0
 
 
 class Context:
@@ -83,6 +87,10 @@ class Context:
         self.next_outgoing_seq = 0  # the context's outgoing-call counter
         self.current_call: CurrentCall | None = None
         self._next_sub_seq = 1
+        # Index of the scheduler session currently serving this context
+        # (None when idle or under the serial runtime).  Contexts are
+        # single-threaded; the scheduler serializes admission on this.
+        self.service_owner: int | None = None
 
         # During replay, logged replies of this context's outgoing calls
         # (message 4 records) queue here; the interceptor answers

@@ -186,6 +186,14 @@ class MessageInterceptor:
             # execution stack so the caller's next outgoing call is not
             # attributed to this crashed context.
             context.abort_incoming()
+            # If this process *survives* the unwind (the signal belongs
+            # to a dead caller), the call's last-call entry would stay
+            # in_progress forever and the recovered caller's retry of
+            # the same call ID would be rejected as a duplicate of a
+            # still-executing call.  Drop it so the retry runs as new.
+            # (A crash of this process wipes the whole table anyway.)
+            if message.call_id is not None:
+                self._process.last_calls.abort_call(message.call_id)
             raise
         finally:
             runtime.pop_context()

@@ -80,6 +80,22 @@ class LastCallTable:
             )
         return None
 
+    def abort_call(self, call_id: GlobalCallId) -> None:
+        """Drop the in-progress entry of a serving frame that died
+        mid-call while this process survived (a dead *caller's* crash
+        signal unwound through it).  The call never produced a reply, so
+        the entry can only poison the caller's retry — the replayed call
+        re-arrives with the same ID and must execute as new, not trip
+        the duplicate-while-executing invariant.  Completed entries are
+        kept: the retry needs their stored reply."""
+        entry = self._entries.get(call_id.caller_key)
+        if (
+            entry is not None
+            and entry.call_id == call_id
+            and entry.in_progress
+        ):
+            del self._entries[call_id.caller_key]
+
     def begin_call(self, call_id: GlobalCallId, context_id: int) -> LastCallEntry:
         """Record that a new last call is being executed (replaces any
         earlier entry from the same client)."""

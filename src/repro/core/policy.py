@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..analysis.trace import TraceEvent
+from ..analysis.trace import CrashMark, TraceEvent
 from ..common.messages import (
     MessageKind,
     MethodCallMessage,
@@ -55,6 +55,11 @@ class LogDecision:
     forced: bool = False
     short: bool = False
     record_lsn: int = NO_LSN
+    #: The end-LSN the force was asked to make stable (captured *before*
+    #: the force).  Under group commit a rider's force may also persist
+    #: another session's later appends, so the conformance checker must
+    #: compare stability against this, not the post-force end of log.
+    commit_lsn: int | None = None
 
     @classmethod
     def nothing(cls) -> "LogDecision":
@@ -132,6 +137,47 @@ class LoggingPolicy:
         except BaseException as signal:
             raise _InterruptedDecision(decision, signal) from None
 
+    def _trace_interrupted(
+        self,
+        context: "Context",
+        kind: MessageKind,
+        peer_type: ComponentType | None,
+        method_read_only: bool,
+        exc: _InterruptedDecision,
+        method: str | None = None,
+    ) -> None:
+        """Witness an interrupted decision's appended record — but only
+        when the record can still exist.
+
+        A *stale* signal is a ghost unwind: the crash already happened
+        in another session and the process's :class:`CrashMark` is
+        already on the trace, so this event would be appended BEHIND the
+        mark and escape its volatile-record pruning.  The record's fate
+        is already sealed by that mark: at/above its ``stable_lsn`` the
+        record was wiped (and its LSN will be reused) — tracing it would
+        claim a future record; below it the record is durable and still
+        needs a claiming decision (e.g. a group-commit rider whose batch
+        executed just before the crash)."""
+        decision = exc.decision
+        if getattr(exc.signal, "stale", False):
+            trace = getattr(context.process, "protocol_trace", None)
+            mark = None
+            if trace is not None:
+                for entry in reversed(trace.entries):
+                    if isinstance(entry, CrashMark):
+                        mark = entry
+                        break
+            if (
+                mark is None
+                or decision.record_lsn == NO_LSN
+                or decision.record_lsn >= mark.stable_lsn
+            ):
+                return
+        self._trace(
+            context, kind, peer_type, method_read_only, decision,
+            interrupted=True, method=method,
+        )
+
     def _trace(
         self,
         context: "Context",
@@ -149,6 +195,10 @@ class LoggingPolicy:
         trace = getattr(context.process, "protocol_trace", None)
         if trace is not None:
             log = context.process.log
+            scheduler = getattr(context.process.runtime, "scheduler", None)
+            session: int | None = None
+            if scheduler is not None and scheduler.active:
+                session = scheduler.current_session_id()
             trace.record(TraceEvent(
                 kind=kind,
                 context_id=context.context_id,
@@ -166,6 +216,8 @@ class LoggingPolicy:
                 stable_lsn=log.stable_lsn,
                 interrupted=interrupted,
                 method=method,
+                session=session,
+                commit_lsn=decision.commit_lsn,
             ))
         return decision
 
@@ -184,10 +236,9 @@ class LoggingPolicy:
                 context, message, client_type, method_read_only
             )
         except _InterruptedDecision as exc:
-            self._trace(
+            self._trace_interrupted(
                 context, MessageKind.INCOMING_CALL, client_type,
-                method_read_only, exc.decision, interrupted=True,
-                method=message.method,
+                method_read_only, exc, method=message.method,
             )
             raise exc.signal from None
         return self._trace(
@@ -206,7 +257,8 @@ class LoggingPolicy:
             # Algorithm 1: log message 1, force.
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
             decision = LogDecision(
-                wrote_record=True, forced=True, record_lsn=lsn
+                wrote_record=True, forced=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision
@@ -218,7 +270,8 @@ class LoggingPolicy:
             # Algorithm 3: long record, force all messages.
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
             decision = LogDecision(
-                wrote_record=True, forced=True, record_lsn=lsn
+                wrote_record=True, forced=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision
@@ -241,9 +294,9 @@ class LoggingPolicy:
                 context, reply, client_type, method_read_only
             )
         except _InterruptedDecision as exc:
-            self._trace(
+            self._trace_interrupted(
                 context, MessageKind.REPLY_TO_INCOMING, client_type,
-                method_read_only, exc.decision, interrupted=True,
+                method_read_only, exc,
             )
             raise exc.signal from None
         return self._trace(
@@ -261,7 +314,8 @@ class LoggingPolicy:
         if not self.config.optimized_logging:
             lsn = self._append(context, MessageKind.REPLY_TO_INCOMING, reply)
             decision = LogDecision(
-                wrote_record=True, forced=True, record_lsn=lsn
+                wrote_record=True, forced=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision
@@ -279,14 +333,16 @@ class LoggingPolicy:
                 context, MessageKind.REPLY_TO_INCOMING, reply, short=True
             )
             decision = LogDecision(
-                wrote_record=True, forced=True, short=True, record_lsn=lsn
+                wrote_record=True, forced=True, short=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision
         # Algorithm 2: no record — the reply is re-creatable by replay —
         # but everything before the send must be stable.
+        commit = context.process.log.end_lsn
         forced = context.process.log_force()
-        return LogDecision(forced=forced)
+        return LogDecision(forced=forced, commit_lsn=commit)
 
     # ------------------------------------------------------------------
     # message 3: outgoing method call (client side)
@@ -303,10 +359,9 @@ class LoggingPolicy:
                 context, message, server_type, method_read_only
             )
         except _InterruptedDecision as exc:
-            self._trace(
+            self._trace_interrupted(
                 context, MessageKind.OUTGOING_CALL, server_type,
-                method_read_only, exc.decision, interrupted=True,
-                method=message.method,
+                method_read_only, exc, method=message.method,
             )
             raise exc.signal from None
         return self._trace(
@@ -325,7 +380,8 @@ class LoggingPolicy:
         if not self.config.optimized_logging:
             lsn = self._append(context, MessageKind.OUTGOING_CALL, message)
             decision = LogDecision(
-                wrote_record=True, forced=True, record_lsn=lsn
+                wrote_record=True, forced=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision, False
@@ -337,26 +393,42 @@ class LoggingPolicy:
             # Algorithm 5: a call to a read-only target commits nothing.
             return LogDecision.nothing(), False
         # Persistent or unknown server: the send commits our state.
-        if self.config.multicall_optimization:
-            current = context.current_call
-            if current is not None:
-                # The last-call table is per *process* and keeps one
-                # entry per caller, so a second call into an
-                # already-visited process evicts the earlier call's
-                # stored reply — the skip is only sound for the first
-                # call into each server process (Section 3.5's "server"
-                # is the process, not the component).
-                server = message.target_uri.rsplit("/", 1)[0]
-                repeat = server in current.servers_called
-                first = not current.forced_once
-                current.servers_called.add(server)
-                if not first and not repeat:
-                    # Section 3.5: the server's last-call table holds the
-                    # reply persistently; no force needed here.
-                    return LogDecision.nothing(), True
-                current.forced_once = True
+        current = (
+            context.current_call
+            if self.config.multicall_optimization
+            else None
+        )
+        if current is not None:
+            # The last-call table is per *process* and keeps one
+            # entry per caller, so a second call into an
+            # already-visited process evicts the earlier call's
+            # stored reply — the skip is only sound for the first
+            # call into each server process (Section 3.5's "server"
+            # is the process, not the component).
+            server = message.target_uri.rsplit("/", 1)[0]
+            repeat = server in current.servers_called
+            first = not current.forced_once
+            current.servers_called.add(server)
+            if (
+                not first
+                and not repeat
+                and context.process.log.stable_lsn
+                >= current.forced_watermark
+            ):
+                # Section 3.5: the server's last-call table holds the
+                # reply persistently; no force needed here.  Guarded by
+                # the watermark: the skip is only sound when *this
+                # call's* earlier force actually reached stable storage
+                # — under concurrent sessions another call's unforced
+                # appends sit between our force and the end of log, and
+                # they must not stand in for it.
+                return LogDecision.nothing(), True
+            current.forced_once = True
+        commit = context.process.log.end_lsn
         forced = context.process.log_force()
-        return LogDecision(forced=forced), False
+        if current is not None:
+            current.forced_watermark = max(current.forced_watermark, commit)
+        return LogDecision(forced=forced, commit_lsn=commit), False
 
     # ------------------------------------------------------------------
     # message 4: reply from the outgoing call (client side)
@@ -373,9 +445,9 @@ class LoggingPolicy:
                 context, reply, server_type, method_read_only
             )
         except _InterruptedDecision as exc:
-            self._trace(
+            self._trace_interrupted(
                 context, MessageKind.REPLY_FROM_OUTGOING, server_type,
-                method_read_only, exc.decision, interrupted=True,
+                method_read_only, exc,
             )
             raise exc.signal from None
         return self._trace(
@@ -395,7 +467,8 @@ class LoggingPolicy:
                 context, MessageKind.REPLY_FROM_OUTGOING, reply
             )
             decision = LogDecision(
-                wrote_record=True, forced=True, record_lsn=lsn
+                wrote_record=True, forced=True, record_lsn=lsn,
+                commit_lsn=context.process.log.end_lsn,
             )
             self._force_for(context, decision)
             return decision

@@ -50,7 +50,7 @@ class ProcessState(enum.Enum):
 
 
 class ForceCoalescer:
-    """Accounting for log forces satisfied by a same-instant write.
+    """Force requests satisfied by a shared (or same-instant) write.
 
     Several protocol sites can request a force at the same simulated
     instant — e.g. a multicall's per-callee forces, or Algorithm 2
@@ -59,17 +59,38 @@ class ForceCoalescer:
     the rest ride along for free.  This wrapper counts those free rides
     as ``LogStats.coalesced_forces``.
 
-    It is *pure accounting*: every request is still delegated to
-    :meth:`LogManager.force` unchanged, so ``forces_requested`` and
-    ``forces_performed`` reproduce the paper's force counts exactly.
+    With ``config.group_commit`` on *and* the deterministic scheduler
+    active, the coalescer additionally performs real group commit:
+    force requests from concurrent sessions arriving within one disk-
+    rotation window block on a shared :class:`GroupCommitBatch` and are
+    satisfied by one stable write (performed by the batch leader via
+    :meth:`execute_batch`).  With the flag off — or outside a scheduler
+    run — every request takes the serial path unchanged, so
+    ``forces_requested`` and ``forces_performed`` reproduce the paper's
+    force counts exactly.
     """
 
-    def __init__(self, log: LogManager, clock) -> None:
+    def __init__(self, log: LogManager, clock, process=None) -> None:
         self._log = log
         self._clock = clock
+        self.process = process
         self._last_write_at: float | None = None
 
+    @property
+    def log_name(self) -> str:
+        return self._log.process_name
+
     def force(self) -> bool:
+        scheduler = self._group_scheduler()
+        if scheduler is None:
+            return self.serial_force()
+        if self._log.stable_lsn == self._log.end_lsn:
+            # Nothing buffered: the force is free either way; don't hold
+            # the session in a window for it.
+            return self.serial_force()
+        return scheduler.group_force(self)
+
+    def serial_force(self) -> bool:
         wrote = self._log.force()
         now = self._clock.now
         if wrote:
@@ -77,6 +98,43 @@ class ForceCoalescer:
         elif self._last_write_at == now:
             self._log.stats.coalesced_forces += 1
         return wrote
+
+    def execute_batch(self, riders: int) -> bool:
+        """The batch leader's shared write: one flush covers every
+        rider's bytes.  Riders' requests are accounted as requested and
+        coalesced — they never reach :meth:`LogManager.force`."""
+        stats = self._log.stats
+        stats.group_commit_batches += 1
+        stats.group_commit_riders += riders
+        stats.forces_requested += riders
+        stats.coalesced_forces += riders
+        return self.serial_force()
+
+    def group_window_ms(self) -> float:
+        override = self.process.config.group_commit_window_ms
+        if override is not None:
+            return override
+        return self.process.machine.disk.group_commit_window_ms
+
+    def reset(self) -> None:
+        """Forget the last write.  Called on crash and on restart: the
+        pre-crash write instant must not survive into the recovered
+        incarnation, or a same-instant empty force after recovery would
+        be miscounted as coalesced."""
+        self._last_write_at = None
+
+    def _group_scheduler(self):
+        process = self.process
+        if process is None or not process.config.group_commit:
+            return None
+        if process.state is not ProcessState.RUNNING:
+            # Recovery's own forces never batch: a window wait inside
+            # replay would distort recovery timing for no sharing.
+            return None
+        scheduler = process.runtime.scheduler
+        if scheduler is None or not scheduler.active:
+            return None
+        return scheduler
 
 
 class AppProcess:
@@ -102,7 +160,9 @@ class AppProcess:
         self.log = LogManager(
             f"{machine.name}-{name}", machine.disk, machine.stable_store
         )
-        self.force_coalescer = ForceCoalescer(self.log, runtime.clock)
+        self.force_coalescer = ForceCoalescer(
+            self.log, runtime.clock, process=self
+        )
         # Observation-only journal of logging decisions; the conformance
         # checker (repro.analysis) replays it against the stable stream.
         self.protocol_trace = ProtocolTrace()
@@ -128,6 +188,9 @@ class AppProcess:
     # log access with cost accounting
     # ------------------------------------------------------------------
     def log_append(self, record) -> int:
+        # Yield BEFORE the append: once a record is buffered, the next
+        # force must pair with it without another session in between.
+        self.runtime.sched_yield(f"log.append:{self.name}")
         self.runtime.clock.advance(self.runtime.costs.log_buffer_write)
         lsn = self.log.append(record)  # phx: disable=PHX005
         self._maybe_publish_checkpoint()
@@ -136,6 +199,8 @@ class AppProcess:
     def log_force(self) -> bool:
         wrote = self.force_coalescer.force()
         self._maybe_publish_checkpoint()
+        # Yield AFTER the force (a durability boundary has completed).
+        self.runtime.sched_yield(f"log.force:{self.name}")
         return wrote
 
     def _maybe_publish_checkpoint(self) -> None:
@@ -416,6 +481,7 @@ class AppProcess:
         self.state = ProcessState.CRASHED
         self.crash_count += 1
         self.log.wipe_volatile()
+        self.force_coalescer.reset()
         # Volatile records above the stable boundary are gone and their
         # LSNs will be reused; tell the conformance trace.
         self.protocol_trace.note_crash(self.log.stable_lsn)
@@ -431,6 +497,7 @@ class AppProcess:
     def begin_restart(self) -> None:
         """Fresh volatile structures before recovery repopulates them."""
         self.state = ProcessState.RECOVERING
+        self.force_coalescer.reset()
         self.context_table = {}
         self.component_table = {}
         self.last_calls = LastCallTable()

@@ -69,8 +69,17 @@ class PhoenixRuntime:
         self.costs = self.cluster.costs
         self.registry = ComponentClassRegistry()
         self.injector = CrashInjector()
-        self._exec_stack: list[Context] = []
+        # Execution stacks are per *session* (the deterministic
+        # scheduler's unit of concurrency); key None is the main thread
+        # and the serial runtime.  A process-global stack would let one
+        # session's unwind pop another session's frame.
+        self._exec_stacks: dict[int | None, list[Context]] = {None: []}
         self._processes: dict[tuple[str, str], AppProcess] = {}
+
+        #: The deterministic scheduler, while one is attached (see
+        #: repro.concurrency); the sched_yield hooks below no-op
+        #: without it, keeping the serial runtime byte-identical.
+        self.scheduler = None
 
         #: uri -> (component type, read-only method names) for every
         #: deployed Phoenix component.  Populated unconditionally at
@@ -137,16 +146,37 @@ class PhoenixRuntime:
         return self.static_type_directory.get(uri)
 
     # ------------------------------------------------------------------
-    # execution stack (which context is running right now)
+    # execution stacks (which context is running right now, per session)
     # ------------------------------------------------------------------
+    def _exec_stack_here(self) -> list[Context]:
+        scheduler = self.scheduler
+        key: int | None = None
+        if scheduler is not None and scheduler.active:
+            key = scheduler.current_session_id()
+        stack = self._exec_stacks.get(key)
+        if stack is None:
+            stack = self._exec_stacks[key] = []
+        return stack
+
     def current_context(self) -> Context | None:
-        return self._exec_stack[-1] if self._exec_stack else None
+        stack = self._exec_stack_here()
+        return stack[-1] if stack else None
 
     def push_context(self, context: Context) -> None:
-        self._exec_stack.append(context)
+        self._exec_stack_here().append(context)
 
     def pop_context(self) -> None:
-        self._exec_stack.pop()
+        self._exec_stack_here().pop()
+
+    # ------------------------------------------------------------------
+    # scheduler cooperation
+    # ------------------------------------------------------------------
+    def sched_yield(self, tag: str) -> None:
+        """A durability/network boundary: give the deterministic
+        scheduler (when attached) a chance to switch sessions."""
+        scheduler = self.scheduler
+        if scheduler is not None and scheduler.active:
+            scheduler.yield_point(tag)
 
     # ------------------------------------------------------------------
     # crash hooks
@@ -210,7 +240,8 @@ class PhoenixRuntime:
                 raise
             target = getattr(signal, "process", None)
             if target is not None:
-                target.crash()
+                if not getattr(signal, "stale", False):
+                    target.crash()
                 raise ComponentUnavailableError(
                     uri, f"crashed at {signal.point}"
                 ) from None
@@ -297,11 +328,16 @@ class PhoenixRuntime:
                     # The failure took the caller's own process down
                     # (a same-process call): these frames are ghosts of
                     # a crashed execution and must unwind to their own
-                    # process boundary instead of retrying.
+                    # process boundary instead of retrying.  The signal
+                    # is stale — the crash already happened (and under
+                    # concurrent sessions the process may by now be
+                    # recovering, or recovered); the boundary must not
+                    # crash it again.
                     signal = CrashSignal(
                         caller_ctx.process.name, "cascaded crash"
                     )
                     signal.process = caller_ctx.process
+                    signal.stale = True
                     raise signal from None
                 if attempts > self.config.max_call_retries:
                     raise RetriesExhaustedError(
@@ -353,52 +389,88 @@ class PhoenixRuntime:
         self.cluster.network.transmit(
             source_machine, target_machine, serialized_size(message)
         )
+        self.sched_yield(f"net.request:{process.name}")
+        scheduler = self.scheduler
+        if scheduler is None or not scheduler.active:
+            scheduler = None
+        entered = scheduler.enter_process(process) if scheduler else False
+        claimed: Context | None = None
         try:
-            if process.state is ProcessState.CRASHED:
-                if not self.config.auto_recover:
+            try:
+                while True:
+                    if process.state is ProcessState.CRASHED:
+                        if not self.config.auto_recover:
+                            raise ComponentUnavailableError(
+                                message.target_uri, "process crashed"
+                            )
+                        self.ensure_recovered(process)
+                    if (
+                        scheduler is not None
+                        and process.state is ProcessState.RECOVERING
+                        and not scheduler.is_recovery_driver(process)
+                    ):
+                        # Another session is driving this process's
+                        # recovery; park until it finishes (or the
+                        # process crashes again), then re-check.
+                        scheduler.block_until(
+                            lambda: process.state
+                            is not ProcessState.RECOVERING,
+                            tag=f"recovering:{process.name}",
+                        )
+                        continue
+                    break
+                context = process.find_context(lid)
+                if context.crashed:
+                    if not self.config.auto_recover:
+                        raise ComponentUnavailableError(
+                            message.target_uri, "context crashed"
+                        )
+                    self.recover_context(context)
+                base_cost = (
+                    self.costs.marshal_by_ref_call
+                    if context.component_type is ComponentType.MARSHAL_BY_REF
+                    else self.costs.context_bound_call
+                )
+                self.clock.advance(base_cost)
+                if not context.is_phoenix:
+                    if context.install_interceptors:
+                        self.clock.advance(self.costs.interception_overhead)
+                    reply = self._invoke_native(context, message)
+                else:
+                    if lid != context.context_id:
+                        context.check_subordinate_access()
+                    if scheduler is not None and scheduler.acquire_context(
+                        context
+                    ):
+                        # Contexts are single-threaded: one session
+                        # serves a context at a time; the rest wait at
+                        # the boundary instead of looking re-entrant.
+                        claimed = context
+                    if (
+                        process.state is ProcessState.RECOVERING
+                        and process.active_recovery is not None
+                    ):
+                        # A live call arrived mid-recovery (another
+                        # context's replay went live): finish this
+                        # context's own pending replay first so duplicate
+                        # detection finds the regenerated reply.
+                        process.active_recovery.drain_context(
+                            context.context_id
+                        )
+                    reply = context.interceptor.handle_incoming(message)
+            except CrashSignal as signal:
+                if getattr(signal, "process", None) is process:
+                    if not getattr(signal, "stale", False):
+                        process.crash()
                     raise ComponentUnavailableError(
-                        message.target_uri, "process crashed"
-                    )
-                self.ensure_recovered(process)
-            context = process.find_context(lid)
-            if context.crashed:
-                if not self.config.auto_recover:
-                    raise ComponentUnavailableError(
-                        message.target_uri, "context crashed"
-                    )
-                self.recover_context(context)
-            base_cost = (
-                self.costs.marshal_by_ref_call
-                if context.component_type is ComponentType.MARSHAL_BY_REF
-                else self.costs.context_bound_call
-            )
-            self.clock.advance(base_cost)
-            if not context.is_phoenix:
-                if context.install_interceptors:
-                    self.clock.advance(self.costs.interception_overhead)
-                reply = self._invoke_native(context, message)
-            else:
-                if lid != context.context_id:
-                    context.check_subordinate_access()
-                if (
-                    process.state is ProcessState.RECOVERING
-                    and process.active_recovery is not None
-                ):
-                    # A live call arrived mid-recovery (another context's
-                    # replay went live): finish this context's own
-                    # pending replay first so duplicate detection finds
-                    # the regenerated reply.
-                    process.active_recovery.drain_context(
-                        context.context_id
-                    )
-                reply = context.interceptor.handle_incoming(message)
-        except CrashSignal as signal:
-            if getattr(signal, "process", None) is process:
-                process.crash()
-                raise ComponentUnavailableError(
-                    message.target_uri, f"crashed at {signal.point}"
-                ) from None
-            raise
+                        message.target_uri, f"crashed at {signal.point}"
+                    ) from None
+                raise
+        finally:
+            if claimed is not None and scheduler is not None:
+                scheduler.release_context(claimed)
+            if entered:
+                scheduler.exit_process()
 
         self.cluster.network.transmit(
             target_machine, source_machine, serialized_size(reply)
@@ -412,9 +484,14 @@ class PhoenixRuntime:
             and process.state is ProcessState.CRASHED
         ):
             # Same-process caller: the after-send crash killed it too.
+            # Stale: the process is already crashed — the boundary
+            # converts without crashing whatever incarnation is live by
+            # the time the unwind reaches it.
             signal = CrashSignal(process.name, "reply.after_send")
             signal.process = process
+            signal.stale = True
             raise signal
+        self.sched_yield(f"net.reply:{process.name}")
         return reply
 
     def _invoke_native(
@@ -460,7 +537,15 @@ class PhoenixRuntime:
     def ensure_recovered(self, process: AppProcess) -> None:
         if process.state is not ProcessState.CRASHED:
             return
-        process.machine.recovery_service.restart(process)
+        scheduler = self.scheduler
+        if scheduler is not None and scheduler.active:
+            # Mark this session as the recovery driver so concurrent
+            # sessions calling into the process park at the boundary
+            # instead of observing RECOVERING state mid-replay.
+            with scheduler.driving_recovery(process):
+                process.machine.recovery_service.restart(process)
+        else:
+            process.machine.recovery_service.restart(process)
 
     def recover_context(self, context: Context) -> None:
         from ..recovery.recovery_manager import recover_context

@@ -69,6 +69,12 @@ class RunOutcome:
     fired: list[str] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
     retries: int = 0
+    #: Byte fingerprint of the run's durable artifacts (stable logs,
+    #: protocol traces, final clock).  Only the concurrent workload
+    #: fills it; two same-seed runs must produce equal fingerprints.
+    #: NOT compared between golden and crashed runs — a crash legally
+    #: changes the schedule from the injection point on.
+    determinism: dict[str, bytes] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +236,183 @@ def run_bookstore(
 ) -> RunOutcome:
     return _run_phoenix(
         "bookstore", _deploy_bookstore_workload, BOOKSTORE_STEPS, specs, record
+    )
+
+
+# ----------------------------------------------------------------------
+# concurrent bookstore (deterministic scheduler, N interleaved buyers)
+# ----------------------------------------------------------------------
+#: Sessions in the concurrent bookstore workload; buyer i shops only at
+#: store i, so per-session replies and component state are independent
+#: of the interleaving and byte-comparable against the golden run.
+CONCURRENT_BUYERS = 4
+
+#: The scheduler seed for both golden and armed runs.  Identical seeds
+#: make the pre-crash schedule of an armed run identical to the golden
+#: run, which is what lets one-shot specs fire at the recorded hit.
+CONCURRENT_SEED = 5824
+
+_FORCE_BOUNDS = None
+
+
+def _concurrent_force_bounds():
+    """Lazily built static force bounds (TRC106) shared by every run in
+    this process; building the whole-program model is the expensive
+    part, so it happens once."""
+    global _FORCE_BOUNDS
+    if _FORCE_BOUNDS is None:
+        from pathlib import Path
+
+        from ..analysis.infer import build_cost_model
+        from ..analysis.model import ProgramModel, iter_py_files
+
+        apps = Path(__file__).resolve().parents[1] / "apps"
+        model = ProgramModel.from_paths(list(iter_py_files([apps])))
+        _FORCE_BOUNDS = build_cost_model(model).force_bounds()
+    return _FORCE_BOUNDS
+
+
+def _concurrent_buyer_steps(index: int) -> tuple:
+    buyer = f"buyer-{index}"
+    store = f"store{index}"
+    return (
+        ("grabber", "search", ("recovery",)),
+        (store, "price", (_TITLE_A,)),
+        (store, "buy", (_TITLE_A,)),
+        ("seller", "add_to_basket", (buyer, index, _TITLE_A, 19.99)),
+        (store, "buy", (_TITLE_B,)),
+        ("seller", "add_to_basket", (buyer, index, _TITLE_B, 29.99)),
+        ("seller", "basket_subtotal", (buyer,)),
+        ("tax", "total_with_tax", (49.98, "wa")),
+        ("seller", "show_basket", (buyer,)),
+        ("seller", "clear_basket", (buyer,)),
+    )
+
+
+def _determinism_fingerprint(runtime: PhoenixRuntime) -> dict[str, bytes]:
+    fingerprint: dict[str, bytes] = {}
+    for process in sorted(runtime.processes(), key=lambda p: p.name):
+        fingerprint[f"log:{process.name}"] = process.log.stable_bytes()
+        fingerprint[f"trace:{process.name}"] = repr(
+            process.protocol_trace.entries
+        ).encode()
+    fingerprint["clock"] = repr(runtime.clock.now).encode()
+    return fingerprint
+
+
+def run_bookstore_concurrent(
+    specs: tuple[CrashSpec, ...] = (), record: bool = False
+) -> RunOutcome:
+    """The bookstore driven by ``CONCURRENT_BUYERS`` interleaved
+    sessions under the deterministic scheduler, with group commit on.
+
+    Each buyer session drives its own memoizing :class:`ScriptRunner`
+    (all runners share one driver process, so its log interleaves too)
+    and retries through injected crashes like the serial workloads.
+    The outcome carries the run's determinism fingerprint in addition
+    to the usual sweep-comparable fields.
+    """
+    from ..concurrency import DeterministicScheduler
+
+    config = RuntimeConfig.optimized(
+        group_commit=True,
+        checkpoint=CheckpointConfig(
+            context_state_every_n_calls=2,
+            process_checkpoint_every_n_saves=2,
+        ),
+    )
+    runtime = PhoenixRuntime(config=config)
+    buyer_ids = tuple(f"buyer-{i}" for i in range(CONCURRENT_BUYERS))
+    app = deploy_bookstore(
+        runtime=runtime, n_stores=CONCURRENT_BUYERS, buyer_ids=buyer_ids
+    )
+    targets = {"grabber": app.price_grabber, "tax": app.tax_calculator,
+               "seller": app.seller}
+    for index, store in enumerate(app.stores):
+        targets[f"store{index}"] = store
+
+    driver_process = runtime.spawn_process("sweep-driver", machine="alpha")
+    runners = [
+        driver_process.create_component(ScriptRunner, args=(targets,))
+        for __ in range(CONCURRENT_BUYERS)
+    ]
+
+    # Serial warmup, before the fault plane arms: touching every basket
+    # in fixed order pins the seller's lazy subordinate creation order,
+    # so component positions in the state capture don't depend on which
+    # buyer reaches the seller first in a (crash-perturbed) schedule.
+    for buyer_id in buyer_ids:
+        app.seller.show_basket(buyer_id)
+
+    retry_counts = [0] * CONCURRENT_BUYERS
+
+    def make_session(index: int):
+        runner = runners[index]
+        steps = _concurrent_buyer_steps(index)
+
+        def session() -> list:
+            replies: list = []
+            for step_index, (target, method, args) in enumerate(steps):
+                for __ in range(MAX_ATTEMPTS):
+                    try:
+                        replies.append(
+                            runner.step(step_index, target, method, args)
+                        )
+                        break
+                    except (ComponentUnavailableError, ConnectionError):
+                        retry_counts[index] += 1
+                else:
+                    raise RecoveryError(
+                        f"buyer {index} step {step_index} did not complete "
+                        f"within {MAX_ATTEMPTS} attempts (specs={specs!r})"
+                    )
+            return replies
+
+        return session
+
+    plane = FaultPlane(specs=tuple(specs), record=record)
+    plane.bind(runtime)
+    scheduler = DeterministicScheduler(runtime, seed=CONCURRENT_SEED)
+    with installed(plane):
+        per_session = scheduler.run(
+            [make_session(i) for i in range(CONCURRENT_BUYERS)]
+        )
+
+    for process in runtime.processes():
+        runtime.ensure_recovered(process)
+    determinism = _determinism_fingerprint(runtime)
+    state = _capture_state(runtime)
+    violations = [
+        f"{process_name}: {violation.render()}"
+        for process_name, violation in check_runtime(runtime)
+    ]
+    from ..analysis.trace_check import check_runtime_force_bounds
+
+    violations.extend(
+        f"{process_name}: {violation.render()}"
+        for process_name, violation in check_runtime_force_bounds(
+            runtime, _concurrent_force_bounds()
+        )
+    )
+    for process in runtime.processes():
+        process.crash()
+    for process in runtime.processes():
+        runtime.ensure_recovered(process)
+    state_after = _capture_state(runtime)
+    violations.extend(
+        f"{process_name}: {violation.render()}"
+        for process_name, violation in check_runtime(runtime)
+    )
+    return RunOutcome(
+        workload="bookstore-concurrent",
+        replies=per_session,
+        state=state,
+        state_after_recover=state_after,
+        journal=plane.journal,
+        fired=[spec.render() for spec in plane.fired],
+        violations=violations,
+        retries=sum(retry_counts),
+        determinism=determinism,
     )
 
 
@@ -438,6 +621,7 @@ def run_queued(
 #: name -> runner; the sweep's unit of work.
 WORKLOADS = {
     "bookstore": run_bookstore,
+    "bookstore-concurrent": run_bookstore_concurrent,
     "orderflow": run_orderflow,
     "queued": run_queued,
 }

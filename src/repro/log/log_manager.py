@@ -79,6 +79,11 @@ class LogStats:
     bytes_read: int = 0  # bytes fetched from the stable store
     index_hits: int = 0  # reads/scans resolved via the LSN index
     coalesced_forces: int = 0  # force requests satisfied by a same-instant write
+    # group commit (concurrent scheduler extension): batches is the
+    # number of shared stable writes; riders counts force requests that
+    # rode one instead of issuing their own.
+    group_commit_batches: int = 0
+    group_commit_riders: int = 0
 
     def snapshot(self) -> "LogStats":
         return LogStats(**vars(self))
@@ -241,6 +246,14 @@ class LogManager:
     # ------------------------------------------------------------------
     # crash behaviour
     # ------------------------------------------------------------------
+    def stable_bytes(self) -> bytes:
+        """The durable log content, verbatim.
+
+        Determinism fingerprint for the concurrent scheduler tests: two
+        runs with the same seed must produce byte-identical stable logs.
+        """
+        return self._stable.read()
+
     def wipe_volatile(self) -> int:
         """Simulate a process crash: the buffer is lost.
 

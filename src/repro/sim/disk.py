@@ -175,6 +175,16 @@ class RotationalDisk:
     # ------------------------------------------------------------------
     # timing
     # ------------------------------------------------------------------
+    @property
+    def group_commit_window_ms(self) -> float:
+        """The natural group-commit window for logs on this spindle: one
+        full rotation.  A force issued right after a previous write has
+        just missed its sector and waits ~one rotation anyway (Section
+        5.2.2 / Figure 9), so forces arriving within that window can ride
+        the same write without delaying it further.
+        """
+        return self.geometry.rotation_ms
+
     def _spindle_angle(self, at_ms: float) -> float:
         """Spindle phase (fraction of a rotation) at absolute time."""
         rotation = self.geometry.rotation_ms

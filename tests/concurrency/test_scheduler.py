@@ -1,0 +1,148 @@
+"""Deterministic cooperative scheduler: determinism, interleaving,
+failure semantics (docs/internals.md section 11)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import PhoenixRuntime, RuntimeConfig
+from repro.analysis.trace_check import record_signature
+from repro.concurrency import DeterministicScheduler
+from repro.errors import InvariantViolationError
+
+from ..conftest import Counter
+
+
+def _deploy(n_sessions: int, **config_overrides):
+    """n Counter components on one server process, driven by external
+    client sessions (Algorithm 3 on a shared log)."""
+    runtime = PhoenixRuntime(
+        config=RuntimeConfig.optimized(**config_overrides)
+    )
+    runtime.external_client_machine = "alpha"
+    process = runtime.spawn_process("server", machine="beta")
+    counters = [
+        process.create_component(Counter) for __ in range(n_sessions)
+    ]
+    return runtime, process, counters
+
+
+def _run(seed: int, n_sessions: int = 3, calls: int = 4):
+    runtime, process, counters = _deploy(n_sessions)
+
+    def make_session(index):
+        def session():
+            out = []
+            for __ in range(calls):
+                out.append(counters[index].increment())
+            return out
+
+        return session
+
+    scheduler = DeterministicScheduler(runtime, seed=seed)
+    results = scheduler.run([make_session(i) for i in range(n_sessions)])
+    return runtime, process, results
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_every_artifact(self):
+        a_runtime, a_process, a_results = _run(seed=11)
+        b_runtime, b_process, b_results = _run(seed=11)
+        assert a_results == b_results
+        assert record_signature(a_process.log) == record_signature(
+            b_process.log
+        )
+        assert repr(a_process.protocol_trace.entries) == repr(
+            b_process.protocol_trace.entries
+        )
+        assert a_runtime.clock.now == b_runtime.clock.now
+
+    def test_scheduler_detaches_after_run(self):
+        runtime, process, results = _run(seed=1)
+        assert runtime.scheduler is not None
+        assert not runtime.scheduler.active
+        # The runtime is still usable serially afterwards.
+        counter = process.create_component(Counter)
+        assert counter.increment() == 1
+
+
+class TestInterleaving:
+    def test_sessions_overlap_on_the_server_trace(self):
+        """The point of the exercise: the server process trace carries
+        decisions from several sessions interleaved, not N serial
+        blocks."""
+        __, process, __ = _run(seed=3, n_sessions=3)
+        sessions = [
+            event.session
+            for event in process.protocol_trace.events()
+            if event.session is not None
+        ]
+        assert set(sessions) == {0, 1, 2}
+        # At least one session's decisions are split around another's.
+        spans = {
+            s: (sessions.index(s), len(sessions) - 1 - sessions[::-1].index(s))
+            for s in set(sessions)
+        }
+        overlapping = [
+            (a, b)
+            for a in spans
+            for b in spans
+            if a != b and spans[a][0] < spans[b][0] < spans[a][1]
+        ]
+        assert overlapping, f"sessions ran serially: {spans}"
+
+    def test_single_session_run_matches_serial_execution(self):
+        """With one session and no group commit the scheduler is pure
+        overhead: byte-identical logs, trace, clock, and replies."""
+        s_runtime, s_process, s_counters = _deploy(1)
+        serial = [s_counters[0].increment() for __ in range(4)]
+
+        c_runtime, c_process, c_results = _run(seed=9, n_sessions=1)
+        assert c_results == [serial]
+        assert record_signature(c_process.log) == record_signature(
+            s_process.log
+        )
+        # The trace is identical up to the session annotation (None
+        # serially, 0 under the scheduler).
+        scrubbed = [
+            replace(event, session=None)
+            for event in c_process.protocol_trace.events()
+        ]
+        assert repr(scrubbed) == repr(s_process.protocol_trace.entries)
+        assert c_runtime.clock.now == s_runtime.clock.now
+
+
+class TestFailureSemantics:
+    def test_session_error_propagates_and_aborts_the_run(self):
+        runtime, process, counters = _deploy(2)
+
+        def bad():
+            counters[0].increment()
+            raise ValueError("session exploded")
+
+        def endless():
+            while True:
+                counters[1].increment()
+
+        scheduler = DeterministicScheduler(runtime, seed=2)
+        with pytest.raises(ValueError, match="session exploded"):
+            scheduler.run([bad, endless])
+        assert not scheduler.active
+
+    def test_all_sessions_blocked_forever_is_a_deadlock(self):
+        runtime, __, counters = _deploy(1)
+        scheduler = DeterministicScheduler(runtime, seed=2)
+
+        def stuck():
+            counters[0].increment()
+            scheduler.block_until(lambda: False, tag="never")
+
+        with pytest.raises(InvariantViolationError, match="deadlock"):
+            scheduler.run([stuck])
+
+    def test_yield_point_is_a_noop_off_session(self):
+        runtime, __, counters = _deploy(1)
+        DeterministicScheduler(runtime, seed=0)
+        # Main thread, scheduler attached but not running: serial path.
+        runtime.sched_yield("log.append:server")
+        assert counters[0].increment() == 1

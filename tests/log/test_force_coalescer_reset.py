@@ -1,0 +1,59 @@
+"""The force coalescer's last-write instant must not survive a crash.
+
+Regression: ``ForceCoalescer._last_write_at`` used to persist across
+``crash()``/``begin_restart()``, so an empty force issued at the same
+simulated instant as a PRE-crash write was still counted as coalesced —
+inflating ``coalesced_forces`` for the recovered incarnation, whose
+write history starts empty.
+"""
+
+import pytest
+
+from repro.common.messages import MessageKind
+from repro.log.records import MessageRecord
+
+from ..conftest import deploy_counter
+
+
+def _append_and_force(process):
+    process.log.append(
+        MessageRecord(
+            context_id=1,
+            kind=MessageKind.INCOMING_CALL,
+            message=None,
+            short=True,
+        )
+    )
+    assert process.force_coalescer.force() is True
+
+
+@pytest.mark.no_conformance_check
+class TestResetOnCrash:
+    def test_same_instant_empty_force_after_crash_is_not_coalesced(
+        self, runtime
+    ):
+        process, __ = deploy_counter(runtime)
+        _append_and_force(process)
+
+        # Baseline sanity: pre-crash, a same-instant empty force IS the
+        # coalescing case the accounting is for.
+        before = process.log.stats.coalesced_forces
+        assert process.force_coalescer.force() is False
+        assert process.log.stats.coalesced_forces == before + 1
+
+        process.crash()
+        # Same simulated instant, but the write belonged to the previous
+        # incarnation: the recovered process has not written yet, so
+        # nothing was coalesced.
+        before = process.log.stats.coalesced_forces
+        assert process.force_coalescer.force() is False
+        assert process.log.stats.coalesced_forces == before
+
+    def test_restart_also_forgets_the_last_write(self, runtime):
+        process, __ = deploy_counter(runtime)
+        _append_and_force(process)
+        process.crash()
+        process.begin_restart()
+        before = process.log.stats.coalesced_forces
+        assert process.force_coalescer.force() is False
+        assert process.log.stats.coalesced_forces == before

@@ -24,7 +24,10 @@ from repro.faults.workloads import WORKLOADS
 def golden():
     """Fault-free outcomes, one per workload (shared: they are what
     every schedule is compared against)."""
-    return {name: WORKLOADS[name]() for name in ("bookstore", "orderflow")}
+    return {
+        name: WORKLOADS[name]()
+        for name in ("bookstore", "orderflow", "bookstore-concurrent")
+    }
 
 
 def run_schedule(point_id: str, golden) -> None:
@@ -90,6 +93,55 @@ class TestSecondCrashDuringRecovery:
         run_schedule(
             "orderflow:log.flush:alpha-orderflow-desk@11+9B"
             "/recovery.pass2:orderflow-desk@1",
+            golden,
+        )
+
+
+class TestConcurrentInterleavingSchedules:
+    """Crash points firing mid-interleaving in the concurrent bookstore
+    workload (four buyer sessions under the deterministic scheduler,
+    group commit on).  Same oracle as every other schedule, with the
+    trace checker's session-aware TRC101/TRC106 in the loop.
+    """
+
+    def test_server_crash_mid_multicall_under_interleaving(self, golden):
+        """App-process force while the grabber's multi-call fan-out is
+        in flight and other sessions have unforced appends on the same
+        log: the Section 3.5 skip must be justified by the crashed
+        call's OWN forced watermark, never by a neighbour session's
+        unforced tail (satellite fix; see TestMulticallWatermark for the
+        unit pin)."""
+        run_schedule(
+            "bookstore-concurrent:log.force.before:beta-bookstore-app@2",
+            golden,
+        )
+
+    def test_driver_crash_wipes_other_sessions_buffered_records(
+        self, golden
+    ):
+        """Driver-process force with all four buyers' ScriptRunner
+        records interleaved in its volatile buffer: the ghost-session
+        unwind must not trace witnesses for wiped records (their LSNs
+        are reused by replay)."""
+        run_schedule(
+            "bookstore-concurrent:log.force.before:alpha-sweep-driver@21",
+            golden,
+        )
+
+    def test_crash_in_the_external_reply_window(self, golden):
+        """Algorithm 3's post-force, pre-reply window with other
+        sessions mid-call: the recovered driver must serve the reply
+        from its log and every session's retry must dedup."""
+        run_schedule(
+            "bookstore-concurrent:alg3.pre_reply:sweep-driver@17", golden
+        )
+
+    def test_torn_driver_flush_mid_interleaving(self, golden):
+        """A torn stable write under concurrent sessions: repair
+        truncates the shared tail, and every session parked beyond the
+        repaired boundary must replay to the same bytes."""
+        run_schedule(
+            "bookstore-concurrent:log.flush:alpha-sweep-driver@29+9B",
             golden,
         )
 
