@@ -54,11 +54,13 @@ sweep-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Hot-path guardrails: the log read/write microbenchmark plus the
-# Table 7 recovery benchmark that exercises replay end to end.
+# Hot-path guardrails: the log read/write microbenchmark, the Table 7
+# recovery benchmark that exercises replay end to end, and the smoke
+# sizes of the on-demand recovery latency benchmark (run the latter
+# with REPRO_BENCH_FULL=1 to regenerate BENCH_recovery.json).
 perf:
 	pytest benchmarks/bench_log_hotpath.py benchmarks/bench_table7_recovery.py \
-		--benchmark-only -s
+		benchmarks/bench_recovery_latency.py --benchmark-only -s
 
 report:
 	python -m repro.bench EXPERIMENTS.md

@@ -70,7 +70,7 @@ class Session:
 
     __slots__ = (
         "index", "fn", "state", "event", "thread", "result", "error",
-        "predicate", "block_tag", "frames",
+        "predicate", "block_tag", "frames", "system",
     )
 
     def __init__(self, index: int, fn: Callable[[], object]):
@@ -83,6 +83,9 @@ class Session:
         self.error: BaseException | None = None
         self.predicate: Callable[[], bool] | None = None
         self.block_tag: str | None = None
+        #: Spawned by the runtime (e.g. a recovery drain worker) rather
+        #: than passed to run(); excluded from run()'s result list.
+        self.system = False
         #: (process, crash_count at entry) for every process boundary the
         #: session is currently inside, outermost first.
         self.frames: list[tuple["AppProcess", int]] = []
@@ -185,7 +188,7 @@ class DeterministicScheduler:
         for session in self.sessions:
             if session.state == _FAILED and session.error is not None:
                 raise session.error
-        return [session.result for session in self.sessions]
+        return [s.result for s in self.sessions if not s.system]
 
     def _loop(self) -> None:
         while True:
@@ -218,6 +221,32 @@ class DeterministicScheduler:
             self._resume(chosen)
             if chosen.state == _FAILED:
                 return
+
+    def spawn(self, fn: Callable[[], object], name: str = "worker") -> Session:
+        """Add a *system* session to the running interleaving (e.g. a
+        recovery drain worker).  The new session joins the READY set
+        from the next scheduling decision on, participates in the
+        seeded draw like any other session, and keeps the run alive
+        until it finishes — but its result is not part of ``run()``'s
+        return value.  Deterministic: the spawn happens at a fixed
+        point in the spawning session's execution, so two same-seed
+        runs create it at the identical decision index."""
+        if not self.active:
+            raise InvariantViolationError(
+                "cannot spawn a session outside an active run"
+            )
+        session = Session(len(self.sessions), fn)
+        session.system = True
+        self.sessions.append(session)
+        thread = threading.Thread(
+            target=self._session_body,
+            args=(session,),
+            name=f"phx-session-{session.index}-{name}",
+            daemon=True,
+        )
+        session.thread = thread
+        thread.start()
+        return session
 
     def _session_body(self, session: Session) -> None:
         self._by_thread[threading.get_ident()] = session

@@ -90,6 +90,19 @@ class RuntimeConfig:
     group_commit: bool = False
     group_commit_window_ms: float | None = None
 
+    # On-demand recovery (extension; ROADMAP item 2, after Sauer &
+    # Härder's instant restart and Lomet's logical recovery): restart
+    # runs only the analysis pass (repair tail, re-mark, restore
+    # checkpointed state) and then admits new calls; each remaining
+    # context is replayed lazily on first access from its own frame
+    # chain in the per-component log index, while background drain
+    # workers (scheduled as deterministic sessions when the concurrent
+    # scheduler is active) replay the rest.  Off by default — eager
+    # two-pass recovery is the paper's Table 7 model and the benchmark
+    # tables are calibrated against it.
+    on_demand_recovery: bool = False
+    recovery_drain_workers: int = 2
+
     @classmethod
     def baseline(cls, **overrides: object) -> "RuntimeConfig":
         """The IDEAS 2003 baseline system (Algorithm 1, no checkpoints)."""

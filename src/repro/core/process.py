@@ -131,6 +131,10 @@ class ForceCoalescer:
             # Recovery's own forces never batch: a window wait inside
             # replay would distort recovery timing for no sharing.
             return None
+        if process.pending_recovery is not None:
+            # Same rationale while on-demand replay is still draining —
+            # lazy/background replay forces must not sit in a window.
+            return None
         scheduler = process.runtime.scheduler
         if scheduler is None or not scheduler.active:
             return None
@@ -181,6 +185,11 @@ class AppProcess:
         # is active; the runtime uses it to drain a context's pending
         # replay before delivering a live call to it.
         self.active_recovery = None
+        # The per-component recovery watermark table, while on-demand
+        # recovery has admitted this process with replay still owed
+        # (repro.recovery.incremental.PendingRecovery); None once every
+        # component is recovered — and cleared by a fresh crash.
+        self.pending_recovery = None
 
         machine.register_process(self)
 
@@ -432,7 +441,15 @@ class AppProcess:
         lsn = save_context_state(context)
         self._state_saves += 1
         every = self.config.checkpoint.process_checkpoint_every_n_saves
-        if every is not None and self._state_saves % every == 0:
+        if (
+            every is not None
+            and self._state_saves % every == 0
+            and self.pending_recovery is None
+        ):
+            # Automatic process checkpoints wait until on-demand replay
+            # has drained: a checkpoint taken mid-drain would publish a
+            # last-call table that unreplayed components have not yet
+            # repopulated.
             self.take_process_checkpoint()
         return lsn
 
@@ -463,6 +480,11 @@ class AppProcess:
         for __, last_call in self.last_calls.all_entries():
             if last_call.reply_lsn != NO_LSN:
                 candidates.append(last_call.reply_lsn)
+        if self.pending_recovery is not None:
+            # Frame chains still owed to on-demand replay.  (Their
+            # contexts' recovery-start LSNs cover them already; keep
+            # the invariant explicit.)
+            candidates.extend(self.pending_recovery.start_lsns())
         if not candidates:
             return self.log.base_lsn
         return min(candidates)
@@ -492,6 +514,7 @@ class AppProcess:
         self.last_calls = LastCallTable()
         self.remote_types = RemoteComponentTypeTable()
         self._pending_checkpoint = None
+        self.pending_recovery = None
         self.machine.recovery_service.on_crash(self)
 
     def begin_restart(self) -> None:
@@ -506,6 +529,7 @@ class AppProcess:
         self._state_saves = 0
         self._pending_checkpoint = None
         self.active_recovery = None
+        self.pending_recovery = None
 
     def finish_recovery(self) -> None:
         self.state = ProcessState.RUNNING

@@ -35,7 +35,7 @@ from ..recovery.recovery_service import RecoveryService
 from ..sim.cluster import Cluster
 from .component import ComponentClassRegistry
 from .config import RuntimeConfig
-from .context import Context
+from .context import SUB_LID_BASE, Context
 from .interceptor import ReplayOutcome
 from .process import AppProcess, ProcessState
 from .proxy import ComponentProxy
@@ -348,7 +348,7 @@ class PhoenixRuntime:
                 self.clock.advance(self.costs.retry_backoff)
                 if self.config.auto_recover:
                     try:
-                        self.ensure_recovered(process)
+                        self.restart_process(process)
                     except CrashSignal as signal:
                         # The server crashed again while recovering.  If
                         # the signal is the caller's own (a cascade), it
@@ -403,7 +403,7 @@ class PhoenixRuntime:
                             raise ComponentUnavailableError(
                                 message.target_uri, "process crashed"
                             )
-                        self.ensure_recovered(process)
+                        self.restart_process(process)
                     if (
                         scheduler is not None
                         and process.state is ProcessState.RECOVERING
@@ -419,6 +419,16 @@ class PhoenixRuntime:
                         )
                         continue
                     break
+                pending = process.pending_recovery
+                if pending is not None:
+                    # On-demand recovery: the admission rule consults
+                    # the target component's watermark (never a global
+                    # RECOVERING flag) and applies its frame chain
+                    # before the call is delivered, so duplicate
+                    # detection sees the regenerated reply.
+                    pending.ensure_component(
+                        lid if lid < SUB_LID_BASE else lid // SUB_LID_BASE
+                    )
                 context = process.find_context(lid)
                 if context.crashed:
                     if not self.config.auto_recover:
@@ -534,7 +544,12 @@ class PhoenixRuntime:
         context.busy = False
         context.current_call = None
 
-    def ensure_recovered(self, process: AppProcess) -> None:
+    def restart_process(self, process: AppProcess) -> None:
+        """Restart a crashed process.  With eager recovery this replays
+        the whole log; with ``config.on_demand_recovery`` it returns as
+        soon as the analysis pass admits new calls — the remaining
+        replay happens lazily on first touch and in background drain
+        workers."""
         if process.state is not ProcessState.CRASHED:
             return
         scheduler = self.scheduler
@@ -546,6 +561,15 @@ class PhoenixRuntime:
                 process.machine.recovery_service.restart(process)
         else:
             process.machine.recovery_service.restart(process)
+
+    def ensure_recovered(self, process: AppProcess) -> None:
+        """The full-recovery barrier: restart if crashed *and* drain any
+        on-demand replay backlog.  Workloads, benchmarks and state
+        capture use this when they need every component materialized."""
+        self.restart_process(process)
+        pending = process.pending_recovery
+        if pending is not None:
+            pending.drain_all()
 
     def recover_context(self, context: Context) -> None:
         from ..recovery.recovery_manager import recover_context

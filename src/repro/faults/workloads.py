@@ -130,6 +130,34 @@ def _capture_state(runtime: PhoenixRuntime) -> dict[str, bytes]:
     return state
 
 
+def _ensure_all_recovered(runtime: PhoenixRuntime) -> None:
+    """Drive every process to fully recovered, retrying through injected
+    crashes.
+
+    Eagerly-recovering workloads finish their replay inside the step
+    loop, so this barrier is a no-op for them.  With
+    ``config.on_demand_recovery`` the post-step drain replays the
+    remaining components *here* — one-shot specs armed at ``recovery.*``
+    sites can fire mid-drain, and the barrier must absorb the crash and
+    restart exactly the way the external client's retry absorbs mid-call
+    crashes."""
+    for __ in range(MAX_ATTEMPTS):
+        try:
+            for process in runtime.processes():
+                runtime.ensure_recovered(process)
+            return
+        except CrashSignal as signal:
+            target = getattr(signal, "process", None)
+            if target is not None and not getattr(signal, "stale", False):
+                target.crash()
+        except (ComponentUnavailableError, ConnectionError):
+            continue
+    raise RecoveryError(
+        f"processes did not reach a recovered state within {MAX_ATTEMPTS} "
+        "attempts (a recovery-site crash spec is looping)"
+    )
+
+
 def _run_phoenix(
     name: str,
     deploy,
@@ -158,8 +186,11 @@ def _run_phoenix(
                     f"{name} step {index} did not complete within "
                     f"{MAX_ATTEMPTS} attempts (specs={specs!r})"
                 )
-    for process in runtime.processes():
-        runtime.ensure_recovered(process)
+        # Still inside the plane: the on-demand drain happens here, so a
+        # golden/armed run journals its ``recovery.*`` crossings and
+        # composite specs can fire mid-drain.  No-op (and journal-silent)
+        # when recovery already completed eagerly in the step loop.
+        _ensure_all_recovered(runtime)
     state = _capture_state(runtime)
     violations = [
         f"{process_name}: {violation.render()}"
@@ -170,8 +201,7 @@ def _run_phoenix(
     # recovery must tolerate whatever the first one left on the logs).
     for process in runtime.processes():
         process.crash()
-    for process in runtime.processes():
-        runtime.ensure_recovered(process)
+    _ensure_all_recovered(runtime)
     state_after = _capture_state(runtime)
     violations.extend(
         f"{process_name}: {violation.render()}"
@@ -239,6 +269,44 @@ def run_bookstore(
     )
 
 
+def _deploy_bookstore_ondemand_workload():
+    config = RuntimeConfig.optimized(
+        on_demand_recovery=True,
+        checkpoint=CheckpointConfig(
+            context_state_every_n_calls=2,
+            process_checkpoint_every_n_saves=2,
+            truncate_log=True,
+        ),
+    )
+    runtime = PhoenixRuntime(config=config)
+    app = deploy_bookstore(runtime=runtime)
+    targets = {
+        "store0": app.stores[0],
+        "store1": app.stores[1],
+        "grabber": app.price_grabber,
+        "tax": app.tax_calculator,
+        "seller": app.seller,
+    }
+    return runtime, targets, "alpha"
+
+
+def run_bookstore_ondemand(
+    specs: tuple[CrashSpec, ...] = (), record: bool = False
+) -> RunOutcome:
+    """The bookstore with incremental recovery on: a crashed server is
+    re-admitted after analysis, the steps' own deliveries trigger lazy
+    per-component replay, and the post-step barrier drains the rest —
+    covering ``recovery.admit_early`` and ``recovery.lazy_replay.*``
+    crash sites (the log-truncation interaction rides along)."""
+    return _run_phoenix(
+        "bookstore-ondemand",
+        _deploy_bookstore_ondemand_workload,
+        BOOKSTORE_STEPS,
+        specs,
+        record,
+    )
+
+
 # ----------------------------------------------------------------------
 # concurrent bookstore (deterministic scheduler, N interleaved buyers)
 # ----------------------------------------------------------------------
@@ -301,7 +369,10 @@ def _determinism_fingerprint(runtime: PhoenixRuntime) -> dict[str, bytes]:
 
 
 def run_bookstore_concurrent(
-    specs: tuple[CrashSpec, ...] = (), record: bool = False
+    specs: tuple[CrashSpec, ...] = (),
+    record: bool = False,
+    on_demand: bool = False,
+    workload_name: str = "bookstore-concurrent",
 ) -> RunOutcome:
     """The bookstore driven by ``CONCURRENT_BUYERS`` interleaved
     sessions under the deterministic scheduler, with group commit on.
@@ -311,11 +382,17 @@ def run_bookstore_concurrent(
     and retries through injected crashes like the serial workloads.
     The outcome carries the run's determinism fingerprint in addition
     to the usual sweep-comparable fields.
+
+    With ``on_demand`` the server processes recover incrementally: a
+    mid-run crash admits calls after analysis, buyer sessions trigger
+    lazy per-component replay, and background drain workers join the
+    seeded interleaving (``recovery.drain_worker`` coverage).
     """
     from ..concurrency import DeterministicScheduler
 
     config = RuntimeConfig.optimized(
         group_commit=True,
+        on_demand_recovery=on_demand,
         checkpoint=CheckpointConfig(
             context_state_every_n_calls=2,
             process_checkpoint_every_n_saves=2,
@@ -377,9 +454,11 @@ def run_bookstore_concurrent(
         per_session = scheduler.run(
             [make_session(i) for i in range(CONCURRENT_BUYERS)]
         )
+        # In-plane drain barrier, as in :func:`_run_phoenix` (with
+        # on-demand recovery, components no session touched after the
+        # crash are still pending here).
+        _ensure_all_recovered(runtime)
 
-    for process in runtime.processes():
-        runtime.ensure_recovered(process)
     determinism = _determinism_fingerprint(runtime)
     state = _capture_state(runtime)
     violations = [
@@ -396,15 +475,14 @@ def run_bookstore_concurrent(
     )
     for process in runtime.processes():
         process.crash()
-    for process in runtime.processes():
-        runtime.ensure_recovered(process)
+    _ensure_all_recovered(runtime)
     state_after = _capture_state(runtime)
     violations.extend(
         f"{process_name}: {violation.render()}"
         for process_name, violation in check_runtime(runtime)
     )
     return RunOutcome(
-        workload="bookstore-concurrent",
+        workload=workload_name,
         replies=per_session,
         state=state,
         state_after_recover=state_after,
@@ -413,6 +491,20 @@ def run_bookstore_concurrent(
         violations=violations,
         retries=sum(retry_counts),
         determinism=determinism,
+    )
+
+
+def run_bookstore_concurrent_ondemand(
+    specs: tuple[CrashSpec, ...] = (), record: bool = False
+) -> RunOutcome:
+    """The concurrent bookstore with incremental recovery on: background
+    drain workers join the seeded interleaving, so this workload is what
+    sweeps the ``recovery.drain_worker`` sites."""
+    return run_bookstore_concurrent(
+        specs,
+        record,
+        on_demand=True,
+        workload_name="bookstore-concurrent-ondemand",
     )
 
 
@@ -621,7 +713,9 @@ def run_queued(
 #: name -> runner; the sweep's unit of work.
 WORKLOADS = {
     "bookstore": run_bookstore,
+    "bookstore-ondemand": run_bookstore_ondemand,
     "bookstore-concurrent": run_bookstore_concurrent,
+    "bookstore-concurrent-ondemand": run_bookstore_concurrent_ondemand,
     "orderflow": run_orderflow,
     "queued": run_queued,
 }

@@ -84,6 +84,12 @@ class LogStats:
     # rode one instead of issuing their own.
     group_commit_batches: int = 0
     group_commit_riders: int = 0
+    # per-component index (on-demand recovery extension): rebuilds is
+    # the number of bounded tail scans that re-anchored the chains after
+    # a restart; hits counts chain requests served from the maintained
+    # index without any scan.
+    comp_index_rebuilds: int = 0
+    comp_index_hits: int = 0
 
     def snapshot(self) -> "LogStats":
         return LogStats(**vars(self))
@@ -136,6 +142,19 @@ class LogManager:
         self._pending_entries: list[tuple[int, int]] = []
         self._index_stale_block: tuple[int, int] | None = None
 
+        # Per-component chains (on-demand recovery): context_id → sorted
+        # stable LSNs of that component's records, covering the LSN
+        # window [_comp_from_lsn, _comp_upto_lsn).  Maintained on the
+        # append path (buffered records wait in _comp_pending until a
+        # flush makes them stable, mirroring _pending_entries).  The
+        # chains are volatile — a crash loses them, and recovery
+        # re-anchors them at the checkpoint with one bounded tail scan
+        # (component_chains).
+        self._comp_lsns: dict[int, list[int]] = {}
+        self._comp_pending: list[tuple[int, int]] = []
+        self._comp_from_lsn = self._stable.size
+        self._comp_upto_lsn = self._stable.size
+
     # ------------------------------------------------------------------
     # appending and forcing
     # ------------------------------------------------------------------
@@ -175,6 +194,7 @@ class LogManager:
         self.stats.appends += 1
         self.stats.bytes_appended += framed_len
         self._pending_entries.append((lsn, framed_len))
+        self._comp_pending.append((record.context_id, lsn))
         if len(buf) >= self.buffer_capacity:
             self._flush(count_as_force=False)
         return lsn
@@ -228,6 +248,14 @@ class LogManager:
                 length for __, length in self._pending_entries
             )
             self._indexed_upto = flush_offset + nbytes
+        # Same promotion for the per-component chains: they only ever
+        # reference stable LSNs, so buffered entries join their chains
+        # when (and only when) the chain window reaches this flush.
+        if self._comp_upto_lsn == self._base_lsn + flush_offset:
+            for cid, lsn in self._comp_pending:
+                self._comp_lsns.setdefault(cid, []).append(lsn)
+            self._comp_upto_lsn += nbytes
+        self._comp_pending.clear()
         self._pending_entries.clear()
         self._buffer.clear()
         self._buffer_start_lsn = self._base_lsn + self._stable.size
@@ -262,6 +290,12 @@ class LogManager:
         self._buffer.clear()
         self._pending_entries.clear()
         self._buffer_start_lsn = self._base_lsn + self._stable.size
+        # The per-component chains live in process memory: the crash
+        # takes them too.  Recovery re-anchors them at the checkpoint
+        # with one bounded tail scan.
+        self._comp_lsns = {}
+        self._comp_pending.clear()
+        self._comp_from_lsn = self._comp_upto_lsn = self._buffer_start_lsn
         return lost
 
     # ------------------------------------------------------------------
@@ -377,7 +411,13 @@ class LogManager:
         self._index_stale_block = None
         if torn:
             self._buffer_start_lsn = self._base_lsn + last_good
-        return self._base_lsn + last_good
+        # Chains may reference the torn region; reset them so the next
+        # component_chains call re-anchors with one bounded scan.
+        self._comp_lsns = {}
+        self._comp_pending.clear()
+        end_lsn = self._base_lsn + last_good
+        self._comp_from_lsn = self._comp_upto_lsn = end_lsn
+        return end_lsn
 
     def scan(self, from_lsn: int = 0) -> Iterator[tuple[int, LogRecord]]:
         """Yield ``(lsn, record)`` for every stable record from
@@ -444,6 +484,39 @@ class LogManager:
         payload, __ = result
         return decode_record(payload)
 
+    def component_chains(self, from_lsn: int = 0) -> dict[int, list[int]]:
+        """Per-component frame chains over the stable log from
+        ``from_lsn``: context_id → the ordered LSNs of that component's
+        records.
+
+        The chains are maintained on the append path, so in steady state
+        this is a pure index hit.  After a restart (or when asked for a
+        window older than the maintained one) the chains are re-anchored
+        with **one** bounded tail scan from ``from_lsn`` — the
+        checkpoint-forward suffix, never the whole log — and stay
+        current from there on.
+        """
+        start = max(from_lsn, self._base_lsn)
+        stable_end = self.stable_lsn
+        if start < self._comp_from_lsn:
+            self._comp_lsns = {}
+            self._comp_from_lsn = self._comp_upto_lsn = start
+            self.stats.comp_index_rebuilds += 1
+        else:
+            self.stats.comp_index_hits += 1
+        if self._comp_upto_lsn < stable_end:
+            for lsn, record in self.scan(self._comp_upto_lsn):
+                self._comp_lsns.setdefault(record.context_id, []).append(lsn)
+            self._comp_upto_lsn = stable_end
+        if start == self._comp_from_lsn:
+            return {cid: list(chain) for cid, chain in self._comp_lsns.items()}
+        chains: dict[int, list[int]] = {}
+        for cid, chain in self._comp_lsns.items():
+            suffix = chain[bisect_left(chain, start):]
+            if suffix:
+                chains[cid] = suffix
+        return chains
+
     def _any_frame_after(self, data: bytes, bad_offset: int) -> bool:
         """Is there a decodable frame anywhere after a corrupt one?
 
@@ -500,6 +573,15 @@ class LogManager:
         self._indexed_upto = max(0, self._indexed_upto - nbytes)
         self._index_stale_block = None
         self._base_lsn = keep_from_lsn
+        for cid in list(self._comp_lsns):
+            chain = self._comp_lsns[cid]
+            drop = bisect_left(chain, keep_from_lsn)
+            if drop:
+                del chain[:drop]
+            if not chain:
+                del self._comp_lsns[cid]
+        self._comp_from_lsn = max(self._comp_from_lsn, keep_from_lsn)
+        self._comp_upto_lsn = max(self._comp_upto_lsn, keep_from_lsn)
         self.stats.truncations += 1
         self.stats.bytes_reclaimed += nbytes
         return nbytes

@@ -1,0 +1,351 @@
+"""On-demand, REDO-only, parallel recovery (extension; ROADMAP item 2).
+
+The paper's recovery (Section 4.4, Table 7) is stop-the-world: a crashed
+process replays its whole log before admitting a single call, so
+time-to-first-reply grows with log size.  Following Sauer & Härder's
+instant restart and Lomet's performance-competitive logical recovery,
+``config.on_demand_recovery`` splits recovery into:
+
+1. **Analysis + admission** (:meth:`RecoveryManager.recover`): repair
+   the tail, re-mark, seed the tables from the checkpoint, restore
+   state-record contexts, register a shell for every discovered
+   context — then leave RECOVERING.  New calls are admitted from here.
+
+2. **Lazy replay**: the runtime consults this module's
+   :class:`PendingRecovery` watermark table before delivering a call;
+   a not-yet-recovered target component is replayed first, from its own
+   frame chain in the log manager's per-component index
+   (:meth:`LogManager.component_chains`), with the reply cache intact —
+   exactly pass 2 restricted to one component.
+
+3. **Background drain**: when the deterministic scheduler is active,
+   ``config.recovery_drain_workers`` system sessions are spawned to
+   replay the remaining components.  Workers claim components through
+   the same watermark table, so lazy and background replay never
+   double-apply, and scheduling stays seeded and byte-identical.
+
+The watermark table is the single coordination point: every component
+is ``PENDING`` (chain not applied), ``REPLAYING`` (owned by exactly one
+session), or ``RECOVERED`` (``applied_lsn`` = the last LSN of its chain
+that has been applied).  Admission decisions see a component's
+watermark, never a global RECOVERING flag.  When the last mark turns
+RECOVERED the table detaches itself from the process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.tables import NO_LSN
+from ..errors import CrashSignal, RecoveryError
+from ..faults import plane as faultplane
+from ..log.records import (
+    BeginCheckpointRecord,
+    CheckpointContextTableRecord,
+    CheckpointLastCallRecord,
+    CheckpointRemoteTypeRecord,
+    ContextStateRecord,
+    CreationRecord,
+    EndCheckpointRecord,
+    LastCallReplyRecord,
+    MessageRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.process import AppProcess
+    from .recovery_manager import RecoveryManager, _ContextDiscovery
+
+PENDING = "pending"
+REPLAYING = "replaying"
+RECOVERED = "recovered"
+
+_SKIP_KINDS = (
+    BeginCheckpointRecord,
+    EndCheckpointRecord,
+    CheckpointContextTableRecord,
+    CheckpointRemoteTypeRecord,
+    CheckpointLastCallRecord,
+    ContextStateRecord,
+)
+
+
+class ComponentWatermark:
+    """One component's recovery progress."""
+
+    __slots__ = (
+        "context_id", "restored", "state_lsn", "chain", "status",
+        "owner", "applied_lsn",
+    )
+
+    def __init__(
+        self,
+        context_id: int,
+        restored: bool,
+        state_lsn: int,
+        chain: list[int],
+    ):
+        self.context_id = context_id
+        self.restored = restored  # state record already applied
+        self.state_lsn = state_lsn
+        #: The LSNs of this component's not-yet-applied records, in log
+        #: order (its frame chain past the restored state record).
+        self.chain = chain
+        self.status = PENDING
+        #: Session index replaying this component (None = main thread),
+        #: meaningful only while ``status == REPLAYING``.
+        self.owner: int | None = None
+        self.applied_lsn = NO_LSN
+
+    def __repr__(self) -> str:
+        return (
+            f"ComponentWatermark(#{self.context_id}, {self.status}, "
+            f"chain={len(self.chain)}, applied={self.applied_lsn})"
+        )
+
+
+class PendingRecovery:
+    """The per-component recovery watermark table of one admitted (but
+    not yet fully replayed) process incarnation."""
+
+    def __init__(
+        self,
+        manager: "RecoveryManager",
+        discoveries: dict[int, "_ContextDiscovery"],
+    ):
+        self.process: "AppProcess" = manager.process
+        self.runtime = manager.runtime
+        self.reply_watermark = manager._reply_watermark
+        self.marks: dict[int, ComponentWatermark] = {}
+        if not discoveries:
+            return
+        start = min(info.start_lsn for info in discoveries.values())
+        chains = self.process.log.component_chains(start)
+        for info in discoveries.values():
+            restored = info.state is not None
+            chain = chains.get(info.context_id, [])
+            if restored:
+                tail = [lsn for lsn in chain if lsn > info.state_lsn]
+            else:
+                tail = [lsn for lsn in chain if lsn >= info.creation_lsn]
+            mark = ComponentWatermark(
+                info.context_id, restored, info.state_lsn, tail
+            )
+            if restored and not tail:
+                # Nothing past the state record: the restore already
+                # recovered this component in full.
+                mark.status = RECOVERED
+                mark.applied_lsn = info.state_lsn
+            self.marks[info.context_id] = mark
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        return sum(1 for m in self.marks.values() if m.status != RECOVERED)
+
+    def component_recovered(self, context_id: int) -> bool:
+        mark = self.marks.get(context_id)
+        return mark is None or mark.status == RECOVERED
+
+    def recovered_watermark(self, context_id: int) -> int:
+        """The last applied LSN of a component's chain (NO_LSN while its
+        replay has not completed)."""
+        mark = self.marks.get(context_id)
+        return NO_LSN if mark is None else mark.applied_lsn
+
+    def start_lsns(self) -> list[int]:
+        """Every not-yet-applied chain head — log truncation must never
+        reclaim these."""
+        return [
+            m.chain[0]
+            for m in self.marks.values()
+            if m.status != RECOVERED and m.chain
+        ]
+
+    def _scheduler(self):
+        scheduler = self.runtime.scheduler
+        if scheduler is None or not scheduler.active:
+            return None
+        return scheduler
+
+    def _current_owner_key(self) -> int | None:
+        scheduler = self._scheduler()
+        if scheduler is None:
+            return None
+        session = scheduler.current_session()
+        return None if session is None else session.index
+
+    # ------------------------------------------------------------------
+    # the admission rule
+    # ------------------------------------------------------------------
+    def ensure_component(self, context_id: int) -> None:
+        """Called by the runtime before delivering a call: the target
+        component's chain must be applied before the call can execute,
+        so duplicate detection finds the regenerated reply.  Replays
+        inline when the component is unclaimed; parks behind the owning
+        session otherwise.  Re-entrant touches (the component's own
+        replay going live into itself) are a no-op, mirroring eager
+        recovery's ``drain_context``."""
+        process = self.process
+        mark = self.marks.get(context_id)
+        if mark is None:
+            return  # created after recovery; nothing to apply
+        while True:
+            if process.pending_recovery is not self:
+                return  # table retired: drained, or a fresh crash
+            if mark.status == RECOVERED:
+                return
+            if mark.status == PENDING:
+                self._replay_component(mark)
+                return
+            # REPLAYING by someone; a re-entrant touch returns.
+            if mark.owner == self._current_owner_key():
+                return
+            scheduler = self._scheduler()
+            if scheduler is None:
+                raise RecoveryError(
+                    f"context {context_id} stuck {REPLAYING} with no "
+                    "scheduler to wait on"
+                )
+            scheduler.block_until(
+                lambda: mark.status == RECOVERED
+                or process.pending_recovery is not self,
+                tag=f"lazy-recovery:{process.name}#{context_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # per-component replay (pass 2 restricted to one frame chain)
+    # ------------------------------------------------------------------
+    def _replay_component(self, mark: ComponentWatermark) -> None:
+        from .recovery_manager import RecoveryManager, _Pending
+
+        process = self.process
+        name = process.name
+        context_id = mark.context_id
+        mark.status = REPLAYING
+        mark.owner = self._current_owner_key()
+        faultplane.site_hit(f"recovery.lazy_replay.before:{name}", name)
+        manager = RecoveryManager(process)
+        manager._reply_watermark = self.reply_watermark
+        for lsn in mark.chain:
+            record = process.log.read_record(lsn)
+            if isinstance(record, _SKIP_KINDS):
+                continue
+            if isinstance(record, CreationRecord):
+                if mark.restored:
+                    continue
+                manager._pending[context_id] = _Pending(
+                    order=manager._next_order(), creation=record
+                )
+            elif isinstance(record, LastCallReplyRecord):
+                if (
+                    self.reply_watermark != NO_LSN
+                    and lsn <= self.reply_watermark
+                ):
+                    continue  # the checkpoint's table already covers it
+                process.last_calls.seed(
+                    record.caller_key,
+                    record.call_id,
+                    record.context_id,
+                    reply=record.reply,
+                    reply_lsn=lsn,
+                )
+            elif isinstance(record, MessageRecord):
+                manager._scan_message(context_id, lsn, record)
+        manager.drain_context(context_id)
+        # Replay effects (regenerated records of live-continued calls)
+        # become stable before the component is declared recovered —
+        # the per-component equivalent of eager recovery's final force.
+        process.log.force()
+        faultplane.site_hit(f"recovery.lazy_replay.after:{name}", name)
+        mark.applied_lsn = mark.chain[-1] if mark.chain else mark.state_lsn
+        mark.status = RECOVERED
+        mark.owner = None
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        process = self.process
+        if process.pending_recovery is not self:
+            return
+        if all(m.status == RECOVERED for m in self.marks.values()):
+            process.pending_recovery = None
+
+    # ------------------------------------------------------------------
+    # foreground drain (the full-recovery barrier)
+    # ------------------------------------------------------------------
+    def drain_all(self) -> None:
+        """Replay every remaining component now (workloads, benchmarks
+        and state capture need the fully recovered process)."""
+        process = self.process
+        while process.pending_recovery is self:
+            mark = self._next_pending()
+            if mark is not None:
+                self._replay_component(mark)
+                continue
+            busy = [
+                m for m in self.marks.values() if m.status == REPLAYING
+            ]
+            if not busy:
+                self._maybe_finish()
+                return
+            scheduler = self._scheduler()
+            if scheduler is None or scheduler.current_session() is None:
+                raise RecoveryError(
+                    "recovery marks stuck replaying with no scheduler "
+                    "to wait on"
+                )
+            scheduler.block_until(
+                lambda: process.pending_recovery is not self
+                or not any(
+                    m.status == REPLAYING for m in self.marks.values()
+                ),
+                tag=f"drain-all:{process.name}",
+            )
+
+    def _next_pending(self) -> ComponentWatermark | None:
+        for context_id in sorted(self.marks):
+            mark = self.marks[context_id]
+            if mark.status == PENDING:
+                return mark
+        return None
+
+    # ------------------------------------------------------------------
+    # background drain workers
+    # ------------------------------------------------------------------
+    def spawn_workers(self) -> None:
+        """Schedule the background drain as system sessions on the
+        deterministic scheduler (no-op outside an active run: the
+        serial runtime drains lazily and via ensure_recovered)."""
+        scheduler = self._scheduler()
+        if scheduler is None or scheduler.current_session() is None:
+            return
+        count = min(
+            self.process.config.recovery_drain_workers,
+            self.pending_count(),
+        )
+        for __ in range(count):
+            scheduler.spawn(
+                self._drain_worker, name=f"drain-{self.process.name}"
+            )
+
+    def _drain_worker(self) -> None:
+        process = self.process
+        name = process.name
+        while process.pending_recovery is self:
+            mark = self._next_pending()
+            if mark is None:
+                return
+            try:
+                faultplane.site_hit(f"recovery.drain_worker:{name}", name)
+                self._replay_component(mark)
+            except CrashSignal as signal:
+                # The replay crashed a process (a one-shot fault spec,
+                # or a cascade).  There is no process boundary above a
+                # worker to convert the signal; handle it here and let
+                # the table die with the crash.
+                target = getattr(signal, "process", None)
+                if target is not None and not getattr(
+                    signal, "stale", False
+                ):
+                    target.crash()
+                return

@@ -89,6 +89,12 @@ class RecoveryManager:
         self.runtime = process.runtime
         self._pending: dict[int, _Pending] = {}
         self._order = 0
+        # The published checkpoint LSN (pass 1's scan start).  Reply
+        # records at or below it are already covered by the checkpoint's
+        # last-call table record, so pass 2 rebuilds the reply cache
+        # only from the suffix past this watermark — on recover-twice
+        # (crash during recovery) the whole-tail re-decode is gone.
+        self._reply_watermark = NO_LSN
 
     # ------------------------------------------------------------------
     # top level
@@ -116,19 +122,46 @@ class RecoveryManager:
             faultplane.site_hit(f"recovery.pass1:{name}", name)
             self._restore_saved_contexts(discoveries)
             faultplane.site_hit(f"recovery.restored:{name}", name)
-            self._pass_two(discoveries)
-            faultplane.site_hit(f"recovery.pass2:{name}", name)
-            self._drain_all()
-            faultplane.site_hit(f"recovery.drained:{name}", name)
-            # Make everything recovery produced (including effects of
-            # live-continued calls) stable before declaring the process
-            # recovered.
-            process.log.force()
-            faultplane.site_hit(f"recovery.done:{name}", name)
+            if process.config.on_demand_recovery:
+                # Analysis is done: admit new calls now and replay each
+                # component lazily / in the background (incremental.py).
+                self._admit_on_demand(discoveries)
+            else:
+                self._pass_two(discoveries)
+                faultplane.site_hit(f"recovery.pass2:{name}", name)
+                self._drain_all()
+                faultplane.site_hit(f"recovery.drained:{name}", name)
+                # Make everything recovery produced (including effects
+                # of live-continued calls) stable before declaring the
+                # process recovered.
+                process.log.force()
+                faultplane.site_hit(f"recovery.done:{name}", name)
         finally:
             process.active_recovery = None
         if process.context_table:
             process._next_component_lid = max(process.context_table) + 1
+
+    def _admit_on_demand(
+        self, discoveries: dict[int, _ContextDiscovery]
+    ) -> None:
+        """On-demand admission: register a shell for every discovered
+        context (so lookups resolve and log truncation keeps protecting
+        their chains), install the per-component watermark table, and
+        hand the remaining replay to lazy first-touch + background
+        drain workers."""
+        from .incremental import PendingRecovery
+
+        process = self.process
+        name = process.name
+        for info in sorted(discoveries.values(), key=lambda d: d.context_id):
+            if info.state is None:
+                self._register_context(info)
+        pending = PendingRecovery(self, discoveries)
+        if pending.pending_count():
+            process.pending_recovery = pending
+        faultplane.site_hit(f"recovery.admit_early:{name}", name)
+        if process.pending_recovery is pending:
+            pending.spawn_workers()
 
     # ------------------------------------------------------------------
     # pass 1
@@ -136,7 +169,9 @@ class RecoveryManager:
     def _pass_one(self) -> dict[int, _ContextDiscovery]:
         process = self.process
         log = process.log
-        start = log.read_well_known_lsn() or 0
+        published = log.read_well_known_lsn()
+        start = published or 0
+        self._reply_watermark = NO_LSN if published is None else published
         discoveries: dict[int, _ContextDiscovery] = {}
 
         def discovery(context_id: int) -> _ContextDiscovery:
@@ -292,6 +327,18 @@ class RecoveryManager:
                     order=self._next_order(), creation=record
                 )
             elif isinstance(record, LastCallReplyRecord):
+                if (
+                    self._reply_watermark != NO_LSN
+                    and lsn <= self._reply_watermark
+                ):
+                    # Below the published checkpoint the checkpoint's
+                    # own last-call record (pass 1) or a state-record
+                    # restore already installed this entry with its
+                    # reply LSN; a duplicate-detection hit reads the
+                    # reply lazily.  Re-decoding the whole tail here
+                    # made recover-twice rebuild the reply cache from
+                    # scratch.
+                    continue
                 # The record was just decoded by the scan; caching the
                 # reply object now means a later duplicate-detection hit
                 # resolves from memory instead of re-reading the log.

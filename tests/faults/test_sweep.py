@@ -46,6 +46,12 @@ class TestDiscovery:
             "checkpoint.publish.before_truncate",
             "qforce.before",  # the queued substrate's durability edges
             "recovery.pass2",  # crash-during-recovery composites
+            # incremental recovery (internals.md section 12): crash at
+            # admission, mid-lazy-replay, and inside a drain worker
+            "recovery.admit_early",
+            "recovery.lazy_replay.before",
+            "recovery.lazy_replay.after",
+            "recovery.drain_worker",
         } <= families
 
     def test_golden_journals_are_deterministic(self):
