@@ -1,7 +1,7 @@
 # Convenience targets (everything works offline).
 
 .PHONY: install test bench perf report examples all clean lint infer \
-	check sweep sweep-smoke concurrency
+	check sweep sweep-smoke concurrency explore-smoke explore-nightly
 
 install:
 	python setup.py develop
@@ -14,6 +14,7 @@ test:
 # stdlib-only and always runs.
 lint:
 	PYTHONPATH=src python -m repro.analysis lint src/repro/apps src/repro/core
+	PYTHONPATH=src python -m repro.analysis sites
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src/repro; \
 	else \
@@ -31,7 +32,7 @@ lint:
 infer:
 	PYTHONPATH=src python -m repro.analysis infer --check src/repro/apps
 
-check: lint infer concurrency
+check: lint infer concurrency explore-smoke
 	PYTHONPATH=src python -m pytest -x -q
 
 # Same-seed determinism gate (docs/internals.md section 11): the
@@ -40,6 +41,21 @@ check: lint infer concurrency
 # byte-identical across the runs.
 concurrency:
 	PYTHONPATH=src python -m repro.concurrency
+
+# Schedule-space model checker (docs/internals.md section 13).
+# `explore-smoke` is the per-push gate: full DPOR enumeration of the
+# ledger workload at N=2 (must complete with zero TRC violations,
+# strictly fewer schedules than naive enumeration, and a byte-identical
+# SCHEDULE_ID replay) — a few seconds.  `explore-nightly` adds a
+# budgeted N=3 exploration and the exploration x crash-point composite.
+explore-smoke:
+	PYTHONPATH=src python -m repro.concurrency.cli smoke
+
+explore-nightly:
+	PYTHONPATH=src python -m repro.concurrency.cli explore --sessions 3 \
+		--budget 8000 --keep-going
+	PYTHONPATH=src python -m repro.concurrency.cli crash-sweep \
+		--budget 800 --specs 3
 
 # Deterministic crash-point sweep (docs/internals.md section 9): every
 # durability boundary of every workload, crash -> recover -> compare

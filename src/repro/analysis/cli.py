@@ -13,6 +13,10 @@ Subcommands:
 * ``cost [paths...] [--format json|text]`` — the static force/record
   cost model: predicted logging cost per exported call path under
   Algorithms 1-5 and the Section 3.5 multi-call rule.
+* ``sites [paths...] [--format text|json|sarif]`` — PHX013: every
+  FaultPlane durability site family must be covered by a registered
+  scheduler yield point (or carry an exemption) so the schedule
+  explorer can reach it; also flags unregistered yield-tag literals.
 * ``rules`` — list every PHX lint rule and TRC trace invariant with its
   paper reference.
 * ``trace-demo`` — run a small crash/recover workload and print the
@@ -34,6 +38,8 @@ from .trace_check import INVARIANTS
 _DEFAULT_TARGETS = ("src/repro/apps", "src/repro/core")
 #: inference/cost work on deployed components; core has none
 _DEFAULT_INFER_TARGETS = ("src/repro/apps",)
+#: the PHX013 site scan covers everything that can hit a crash site
+_DEFAULT_SITES_TARGETS = ("src/repro",)
 
 
 def _resolve_paths(raw: list[str], defaults: tuple[str, ...]) -> list[Path] | None:
@@ -219,6 +225,23 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sites(args: argparse.Namespace) -> int:
+    # Imported lazily: sites.py reads the yield-tag registry from
+    # repro.concurrency, which the core analysis modules must not pull
+    # in at import time.
+    from .sites import scan_paths
+
+    paths = _resolve_paths(args.paths, _DEFAULT_SITES_TARGETS)
+    if paths is None:
+        return 2
+    findings = scan_paths(paths)
+    return _emit_findings(
+        findings, args.format,
+        "clean: every durability site family has a covering yield "
+        "point (or a registered exemption)",
+    )
+
+
 def _cmd_rules(_args: argparse.Namespace) -> int:
     print("Static lint rules:")
     for rule in RULES.values():
@@ -313,6 +336,18 @@ def main(argv: list[str] | None = None) -> int:
         help="output format (default: json; machine-readable)",
     )
     cost_parser.set_defaults(func=_cmd_cost)
+
+    sites_parser = sub.add_parser(
+        "sites", help="PHX013: durability-site yield-point coverage"
+    )
+    sites_parser.add_argument("paths", nargs="*", help="files or dirs")
+    sites_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    sites_parser.set_defaults(func=_cmd_sites)
 
     rules_parser = sub.add_parser("rules", help="list rules/invariants")
     rules_parser.set_defaults(func=_cmd_rules)

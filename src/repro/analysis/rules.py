@@ -108,6 +108,19 @@ _RULES = [
         "a pragma if the marking is deliberately withheld)",
         "Section 3.3, Algorithms 4-5 (read-only call optimization)",
     ),
+    # PHX013 comes from the durability-site coverage scan
+    # (repro-analyze sites), not the per-file lint pass.
+    Rule(
+        "PHX013",
+        "durability site family without a covering scheduler yield point",
+        "register the site family under a yield tag in "
+        "repro.concurrency.tags (YIELD_TAGS covers=...), add it to "
+        "EXEMPT_SITE_FAMILIES with a rationale, or add a sched_yield "
+        "at the boundary: the schedule explorer cannot interleave or "
+        "crash-compose a boundary the scheduler never parks at",
+        "Section 2.3 (crash points are the interesting schedule "
+        "points; exploration must reach every durability boundary)",
+    ),
 ]
 
 RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}

@@ -1,0 +1,130 @@
+"""PHX013: durability-site / yield-point coverage cross-check.
+
+The schedule explorer can only interleave sessions — and compose
+crashes with schedules — at the scheduler's yield points.  A FaultPlane
+durability site (``site_hit``/``flush_cut``) with *no* covering yield
+family is a crash boundary the model checker can never branch at:
+schedules around it are silently unexplored.
+
+This scan walks the source AST and collects:
+
+* every ``site_hit(...)`` / ``flush_cut(...)`` first-argument literal
+  (plain strings and f-strings whose leading chunk is a literal, e.g.
+  ``f"log.force.before:{name}"`` → family ``log.force.before``), and
+* every ``sched_yield(...)`` / ``yield_point(...)`` tag literal.
+
+Each site family must appear in some registered yield tag's ``covers``
+tuple or in ``EXEMPT_SITE_FAMILIES`` (with a rationale) — both live in
+:mod:`repro.concurrency.tags`, the same registry the scheduler
+validates live tags against.  Each statically visible yield tag must
+name a registered family, so the lint catches the typo before the
+scheduler's runtime check does.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .lint import Finding
+
+#: Callables whose first argument is a durability site name.
+_SITE_CALLS = {"site_hit", "flush_cut"}
+#: Callables whose first argument is a scheduler yield tag.
+_YIELD_CALLS = {"sched_yield", "yield_point"}
+
+
+def _called_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_prefix(node: ast.expr) -> str | None:
+    """The leading literal text of a string argument: the whole value
+    for a plain constant, the first chunk of an f-string when it is a
+    literal.  None when nothing is statically known."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _family(text: str) -> str:
+    """``family:process`` (or a bare f-string prefix ``family:``) →
+    ``family``."""
+    return text.split(":", 1)[0]
+
+
+def scan_paths(paths: list[Path]) -> list[Finding]:
+    from ..concurrency.tags import (
+        EXEMPT_SITE_FAMILIES,
+        YIELD_TAGS,
+        covered_site_families,
+    )
+
+    covered = covered_site_families()
+    findings: list[Finding] = []
+    for path in sorted(_python_files(paths)):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=str(path), line=exc.lineno or 1, col=0,
+                rule_id="PHX013",
+                message=f"unparseable file: {exc.msg}",
+            ))
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = _called_name(node)
+            if name in _SITE_CALLS:
+                text = _literal_prefix(node.args[0])
+                if text is None:
+                    continue
+                family = _family(text)
+                if family in covered or family in EXEMPT_SITE_FAMILIES:
+                    continue
+                findings.append(Finding(
+                    path=str(path), line=node.lineno, col=node.col_offset,
+                    rule_id="PHX013",
+                    message=(
+                        f"durability site family {family!r} has no "
+                        "covering scheduler yield point and no exemption "
+                        "— schedule exploration cannot reach this crash "
+                        "boundary"
+                    ),
+                ))
+            elif name in _YIELD_CALLS:
+                text = _literal_prefix(node.args[0])
+                if text is None:
+                    continue
+                family = _family(text)
+                if family not in YIELD_TAGS:
+                    findings.append(Finding(
+                        path=str(path), line=node.lineno,
+                        col=node.col_offset, rule_id="PHX013",
+                        message=(
+                            f"yield tag family {family!r} is not in the "
+                            "registered yield-tag registry "
+                            "(repro.concurrency.tags)"
+                        ),
+                    ))
+    return findings
+
+
+def _python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files

@@ -25,17 +25,30 @@ commit conditions after the fact:
   same call ID and kind (a retry or replay re-log) must be identical;
   :func:`record_signature` additionally fingerprints a whole stream for
   run-vs-run comparison.
+* **TRC107** — the *causal* commit condition: at every committing send,
+  every record in the send's happens-before cone (per the scheduler's
+  vector clocks) is stable.  Strictly weaker than TRC101's whole-log
+  prefix — the exact invariant a pipelined/per-session force relaxation
+  must preserve.
+* **TRC108** — cross-session race freedom: two sessions touching one
+  context's state are ordered by a real synchronisation edge (context
+  admission, group-commit batch, spawn).
+
+TRC107/TRC108 activate only on vector-clocked (concurrent) traces;
+serial traces carry ``vc=None`` and are covered by TRC101-106 alone.
 
 Violations carry the invariant ID and the LSN they anchor to.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from ..common.messages import MessageKind
 from ..common.types import ComponentType
 from ..log.records import MessageRecord
+from . import vector_clock
 from .trace import NO_LSN, CrashMark, ProtocolTrace, TraceEvent
 
 INVARIANTS: dict[str, str] = {
@@ -47,6 +60,10 @@ INVARIANTS: dict[str, str] = {
     "TRC105": "replay/retry regenerates identical records",
     "TRC106": "observed forces per call span stay within the static "
               "cost-model bound",
+    "TRC107": "every send's *causal* prefix (happens-before-ordered "
+              "records) is stable at its commit point",
+    "TRC108": "no two sessions touch one context's state without an "
+              "intervening happens-before edge",
 }
 
 
@@ -180,6 +197,203 @@ def _event_violations(event: TraceEvent) -> list[Violation]:
                 else "Algorithm 2 receive",
             )
             expect_unforced(invariant)
+    return out
+
+
+# ----------------------------------------------------------------------
+# causal invariants over vector-clocked traces (TRC107/TRC108)
+# ----------------------------------------------------------------------
+def _commit_event(event: TraceEvent) -> bool:
+    """Does this event's send commit state — i.e. would
+    :func:`_event_violations` demand stability at it?  Mirrors the
+    ``expect_stable`` branches exactly, with two extra exemptions:
+    ``replaying`` decisions reconstruct pre-crash history (the
+    CrashMark already separates the incarnations) and multi-call skips
+    are recoverable through the server's last-call table (Section 3.5)
+    even while their own message-4 record is volatile."""
+    if event.interrupted or event.replaying:
+        return False
+    if not event.optimized:
+        return True  # Algorithm 1 forces every message
+    if event.context_type.is_stateless:
+        return False
+    ro_peer = event.peer_type is ComponentType.READ_ONLY or (
+        event.method_read_only and event.read_only_opt
+    )
+    kind = event.kind
+    if kind is MessageKind.INCOMING_CALL:
+        return event.peer_type is ComponentType.EXTERNAL and not ro_peer
+    if kind is MessageKind.REPLY_TO_INCOMING:
+        return not ro_peer
+    if kind is MessageKind.OUTGOING_CALL:
+        return (
+            event.peer_type is not ComponentType.FUNCTIONAL
+            and not ro_peer
+            and not event.multicall_skip
+        )
+    return False
+
+
+class _CausalIndex:
+    """Max surviving record LSN inside a happens-before cone.
+
+    Per session, appends arrive with nondecreasing vector-clock
+    components, so ``(component, running-max LSN)`` pairs support an
+    O(log n) "max LSN among this session's appends visible at view v"
+    query.  Serial appends (``vc is None``) happen only while no
+    scheduler run is active, so they precede every later session event
+    outright — one running max covers them.  A :class:`CrashMark` wipes
+    volatile records, so the index rebuilds from the survivors.
+    """
+
+    def __init__(self) -> None:
+        self._kept: list[TraceEvent] = []
+        self._serial_max = NO_LSN
+        self._comps: dict[int, list[int]] = {}
+        self._maxes: dict[int, list[int]] = {}
+
+    def add(self, event: TraceEvent) -> None:
+        if not event.wrote_record or event.record_lsn == NO_LSN:
+            return
+        self._kept.append(event)
+        self._index(event)
+
+    def _index(self, event: TraceEvent) -> None:
+        if event.vc is None or event.session is None:
+            if event.record_lsn > self._serial_max:
+                self._serial_max = event.record_lsn
+            return
+        comp = vector_clock.component(event.vc, event.session)
+        comps = self._comps.setdefault(event.session, [])
+        maxes = self._maxes.setdefault(event.session, [])
+        prev = maxes[-1] if maxes else NO_LSN
+        comps.append(comp)
+        maxes.append(max(prev, event.record_lsn))
+
+    def crash(self, mark: CrashMark) -> None:
+        survivors = [
+            event for event in self._kept
+            if event.record_lsn < mark.stable_lsn
+        ]
+        self._kept = []
+        self._serial_max = NO_LSN
+        self._comps = {}
+        self._maxes = {}
+        for event in survivors:
+            self._kept.append(event)
+            self._index(event)
+
+    def causal_max(self, vc: vector_clock.Snapshot) -> int:
+        """Max record LSN among surviving appends happens-before a
+        decision observed at snapshot ``vc``."""
+        best = self._serial_max
+        for session, view in vc:
+            comps = self._comps.get(session)
+            if not comps:
+                continue
+            idx = bisect_right(comps, view)
+            if idx and self._maxes[session][idx - 1] > best:
+                best = self._maxes[session][idx - 1]
+        return best
+
+    def witness(self, vc: vector_clock.Snapshot, lsn: int) -> TraceEvent | None:
+        for event in self._kept:
+            if event.record_lsn == lsn and vector_clock.happens_before(
+                event.vc, event.session, vc
+            ):
+                return event
+        return None
+
+
+def _causal_violations(trace: ProtocolTrace) -> list[Violation]:
+    """TRC107: at every committing send, every *causally prior* record
+    of this process's log must already be stable.
+
+    This is strictly weaker than TRC101's whole-log-prefix condition —
+    records of causally unrelated sessions may stay volatile — and it is
+    exactly the constraint ROADMAP item 3's pipelined/per-session forces
+    must keep: recoverability only needs the happens-before cone of a
+    send on disk (cf. partially constrained transaction logs).  Inert on
+    serial traces (``vc is None``), where TRC101 subsumes it.
+    """
+    out: list[Violation] = []
+    index = _CausalIndex()
+    for item in trace.entries:
+        if isinstance(item, CrashMark):
+            index.crash(item)
+            continue
+        event = item
+        if event.vc is not None and _commit_event(event):
+            causal_max = index.causal_max(event.vc)
+            if causal_max != NO_LSN and causal_max >= event.stable_lsn:
+                anchor = (
+                    event.record_lsn
+                    if event.record_lsn != NO_LSN
+                    else event.end_lsn
+                )
+                prior = index.witness(event.vc, causal_max)
+                who = (
+                    f"session {prior.session}'s message-"
+                    f"{prior.kind.value} record"
+                    if prior is not None
+                    else "a record"
+                )
+                out.append(Violation(
+                    "TRC107", anchor,
+                    f"message {event.kind.value} (session {event.session}) "
+                    f"committed while {who} at LSN {causal_max} in its "
+                    f"causal prefix was still volatile (stable_lsn "
+                    f"{event.stable_lsn})",
+                ))
+        # The event's own record joins the index *after* the check: its
+        # stability is TRC101/TRC102's business, not its own prefix's.
+        index.add(event)
+    return out
+
+
+def _race_violations(trace: ProtocolTrace) -> list[Violation]:
+    """TRC108: two sessions touching one context's state must be
+    ordered by happens-before (context admission, a group-commit batch,
+    or a spawn edge) — a real race detector over the per-session exec
+    stacks.  Serial accesses (main thread) are totally ordered with
+    every session event and reset the tracking; a CrashMark wipes the
+    process, so pre-crash accesses cannot race post-recovery ones.
+    """
+    out: list[Violation] = []
+    last: dict[int, dict[int, TraceEvent]] = {}
+    for item in trace.entries:
+        if isinstance(item, CrashMark):
+            last.clear()
+            continue
+        event = item
+        if event.interrupted or event.replaying:
+            continue
+        if event.session is None or event.vc is None:
+            # Main-thread access: the scheduler is not running, so this
+            # is ordered with every session event on both sides.
+            last[event.context_id] = {}
+            continue
+        peers = last.setdefault(event.context_id, {})
+        for other, prior in peers.items():
+            if other == event.session:
+                continue
+            if not vector_clock.happens_before(
+                prior.vc, prior.session, event.vc
+            ):
+                anchor = (
+                    event.record_lsn
+                    if event.record_lsn != NO_LSN
+                    else event.end_lsn
+                )
+                out.append(Violation(
+                    "TRC108", anchor,
+                    f"sessions {prior.session} and {event.session} both "
+                    f"touch context {event.context_id} (message "
+                    f"{prior.kind.value}, then message "
+                    f"{event.kind.value}) with no happens-before edge "
+                    "between them",
+                ))
+        peers[event.session] = event
     return out
 
 
@@ -481,6 +695,8 @@ def check_log(log, trace: ProtocolTrace | None = None) -> list[Violation]:
     if trace is not None:
         for event in trace.events():
             violations.extend(_event_violations(event))
+        violations.extend(_causal_violations(trace))
+        violations.extend(_race_violations(trace))
         if records is not None:
             violations.extend(_cross_check(
                 trace.surviving_events(), records,

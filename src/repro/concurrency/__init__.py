@@ -7,10 +7,28 @@ package (``python -m repro.concurrency``) executes the same-seed
 determinism check that ``make concurrency`` wires into CI.
 """
 
+from .policies import (
+    ControlledPolicy,
+    ReplayPolicy,
+    ScheduleDivergenceError,
+    SchedulePolicy,
+    ScheduleStep,
+    SeededRandomPolicy,
+)
 from .scheduler import DeterministicScheduler, GroupCommitBatch, SchedulerAbort
+from .tags import YIELD_TAGS, covered_site_families, validate_tag
 
 __all__ = [
+    "ControlledPolicy",
     "DeterministicScheduler",
     "GroupCommitBatch",
+    "ReplayPolicy",
+    "ScheduleDivergenceError",
+    "SchedulePolicy",
+    "ScheduleStep",
     "SchedulerAbort",
+    "SeededRandomPolicy",
+    "YIELD_TAGS",
+    "covered_site_families",
+    "validate_tag",
 ]

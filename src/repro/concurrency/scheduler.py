@@ -5,9 +5,19 @@ charged on one shared clock and every data structure assumes one call
 chain at a time.  This module adds concurrency *without* giving up
 determinism: each session runs on a real thread, but a turnstile
 guarantees exactly one thread is ever runnable, and the session to
-resume next is drawn from a seeded ``random.Random`` over the READY set.
-Two runs with the same seed (and the same session programs) therefore
-interleave identically — byte-identical logs, traces and clocks.
+resume next is delegated to a pluggable :class:`SchedulePolicy`
+(``policies.py``) — by default a seeded uniform draw over the READY
+set.  Two runs with the same seed (and the same session programs)
+therefore interleave identically — byte-identical logs, traces and
+clocks.  ``ReplayPolicy`` replays an explicit choice sequence, and the
+schedule explorer (``explore.py``) drives the same hook to enumerate
+the reduced schedule space systematically.
+
+The scheduler also maintains a **vector clock** per session — ticked at
+every yield point, merged across the runtime's real synchronisation
+edges (context admission, group-commit batches, ``spawn``) — which the
+trace checker's causal invariants TRC107/TRC108 read via
+``current_vc()`` (docs/internals.md section 13).
 
 Sessions switch only at explicit *yield points*, which the runtime
 places at every durability and network boundary:
@@ -39,12 +49,14 @@ then possibly recovered) process.
 
 from __future__ import annotations
 
-import random
 import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from ..analysis import vector_clock
 from ..errors import CrashSignal, InvariantViolationError
+from .policies import SchedulePolicy, ScheduleStep, SeededRandomPolicy
+from .tags import YIELD_TAGS, validate_tag
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.context import Context
@@ -70,7 +82,7 @@ class Session:
 
     __slots__ = (
         "index", "fn", "state", "event", "thread", "result", "error",
-        "predicate", "block_tag", "frames", "system",
+        "predicate", "block_tag", "frames", "system", "step_touches",
     )
 
     def __init__(self, index: int, fn: Callable[[], object]):
@@ -89,6 +101,9 @@ class Session:
         #: (process, crash_count at entry) for every process boundary the
         #: session is currently inside, outermost first.
         self.frames: list[tuple["AppProcess", int]] = []
+        #: Process names touched since the last scheduling decision —
+        #: the DPOR commutativity footprint of the current step.
+        self.step_touches: set[str] = set()
 
     def __repr__(self) -> str:
         tag = f" at {self.block_tag}" if self.block_tag else ""
@@ -106,7 +121,7 @@ class GroupCommitBatch:
     """
 
     __slots__ = ("coalescer", "deadline", "seq", "waiters", "closed",
-                 "done", "error")
+                 "done", "error", "vc")
 
     def __init__(
         self, coalescer: "ForceCoalescer", deadline: float, seq: int
@@ -118,6 +133,10 @@ class GroupCommitBatch:
         self.closed = False
         self.done = False
         self.error: BaseException | None = None
+        #: Joined vector clock of every waiter; merged back into each
+        #: waiter when the shared write completes (a sync edge: all
+        #: batched records became stable together).
+        self.vc: dict[int, int] = {}
 
 
 class DeterministicScheduler:
@@ -129,11 +148,20 @@ class DeterministicScheduler:
     ``sched_yield`` hooks route into :meth:`yield_point`.
     """
 
-    def __init__(self, runtime: "PhoenixRuntime", seed: int = 0):
+    def __init__(
+        self,
+        runtime: "PhoenixRuntime",
+        seed: int = 0,
+        policy: SchedulePolicy | None = None,
+    ):
         self.runtime = runtime
         self.clock = runtime.clock
         self.seed = seed
-        self._rng = random.Random(seed)
+        #: Which READY session runs next is delegated to the policy;
+        #: the default reproduces the historical seeded draw exactly.
+        self.policy: SchedulePolicy = (
+            policy if policy is not None else SeededRandomPolicy(seed)
+        )
         self.sessions: list[Session] = []
         self._by_thread: dict[int, Session] = {}
         self._main_event = threading.Event()
@@ -142,6 +170,14 @@ class DeterministicScheduler:
         self._batches: dict["ForceCoalescer", GroupCommitBatch] = {}
         self._batch_seq = 0
         self._recovery_drivers: dict["AppProcess", Session | None] = {}
+        #: Per-session vector clocks (session index -> live clock),
+        #: ticked at yield points, merged across sync edges.
+        self._vcs: dict[int, dict[int, int]] = {}
+        #: Release-time clock of the last session that served each
+        #: context URI; merged into the next acquirer (admission is a
+        #: real lock, hence a real happens-before edge).
+        self._context_vcs: dict[str, dict[int, int]] = {}
+        self._step_index = 0
         runtime.scheduler = self
 
     # ------------------------------------------------------------------
@@ -157,6 +193,23 @@ class DeterministicScheduler:
         return None if session is None else session.index
 
     # ------------------------------------------------------------------
+    # vector clocks
+    # ------------------------------------------------------------------
+    def session_clock(self, session: Session) -> dict[int, int]:
+        return self._vcs.setdefault(session.index, {})
+
+    def _tick(self, session: Session) -> None:
+        vector_clock.tick(self.session_clock(session), session.index)
+
+    def current_vc(self) -> vector_clock.Snapshot | None:
+        """Snapshot of the calling session's clock, for TraceEvent.vc;
+        None on the main thread or outside a run."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return None
+        return vector_clock.snapshot(self.session_clock(session))
+
+    # ------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------
     def run(self, fns: list[Callable[[], object]]) -> list[object]:
@@ -165,6 +218,10 @@ class DeterministicScheduler:
         self.sessions = [Session(i, fn) for i, fn in enumerate(fns)]
         self.active = True
         self._abort = False
+        self._vcs = {s.index: {} for s in self.sessions}
+        self._context_vcs.clear()
+        self._step_index = 0
+        self.policy.begin_run(self)
         for session in self.sessions:
             thread = threading.Thread(
                 target=self._session_body,
@@ -217,10 +274,40 @@ class DeterministicScheduler:
                     "scheduler deadlock: all sessions blocked: "
                     + ", ".join(repr(s) for s in live)
                 )
-            chosen = ready[self._rng.randrange(len(ready))]
+            chosen = self.policy.choose(ready, self)
+            if chosen not in ready:
+                raise InvariantViolationError(
+                    f"schedule policy chose non-ready session {chosen!r}"
+                )
+            park_tag = chosen.block_tag
+            self._seed_touches(chosen, park_tag)
+            enabled = tuple(s.index for s in ready)
             self._resume(chosen)
+            step = ScheduleStep(
+                index=self._step_index,
+                chosen=chosen.index,
+                enabled=enabled,
+                touched=frozenset(chosen.step_touches),
+                park_tag=park_tag,
+                end_tag=chosen.block_tag,
+                final_state=chosen.state,
+            )
+            self._step_index += 1
+            chosen.step_touches.clear()
+            self.policy.observe(step)
             if chosen.state == _FAILED:
                 return
+
+    def _seed_touches(self, session: Session, park_tag: str | None) -> None:
+        """A step resumed at a registered yield point re-touches that
+        tag's process: the very next action (the append after a
+        ``log.append`` park, the delivery after ``net.request``) acts on
+        it before any further touch is recorded."""
+        if not park_tag:
+            return
+        family, _, process_name = park_tag.partition(":")
+        if process_name and family in YIELD_TAGS:
+            session.step_touches.add(process_name)
 
     def spawn(self, fn: Callable[[], object], name: str = "worker") -> Session:
         """Add a *system* session to the running interleaving (e.g. a
@@ -237,6 +324,12 @@ class DeterministicScheduler:
             )
         session = Session(len(self.sessions), fn)
         session.system = True
+        # The child starts causally after its spawner: it inherits the
+        # spawning session's clock (a copy — independent from here on).
+        parent = self.current_session()
+        self._vcs[session.index] = (
+            dict(self.session_clock(parent)) if parent is not None else {}
+        )
         self.sessions.append(session)
         thread = threading.Thread(
             target=self._session_body,
@@ -297,10 +390,21 @@ class DeterministicScheduler:
     # ------------------------------------------------------------------
     def yield_point(self, tag: str) -> None:
         """Hand control back to the scheduler; a no-op on the main
-        thread and outside an active run."""
+        thread and outside an active run.  The tag's family must be
+        registered in ``tags.YIELD_TAGS`` — a typo'd tag would silently
+        hide a durability boundary from schedule exploration, so it is
+        a hard error instead."""
         session = self.current_session()
         if session is None or not self.active:
             return
+        try:
+            validate_tag(tag)
+        except ValueError as exc:
+            raise InvariantViolationError(str(exc)) from None
+        _family, _, process_name = tag.partition(":")
+        if process_name:
+            session.step_touches.add(process_name)
+        self._tick(session)
         self._switch_to_main(session, _READY, tag)
         self._check_ghost(session)
 
@@ -317,6 +421,7 @@ class DeterministicScheduler:
             return
         while not predicate():
             session.predicate = predicate
+            self._tick(session)
             self._switch_to_main(session, _BLOCKED, tag)
             session.predicate = None
             self._check_ghost(session)
@@ -330,6 +435,7 @@ class DeterministicScheduler:
         session = self.current_session()
         if session is None:
             return False
+        session.step_touches.add(process.name)
         session.frames.append((process, process.crash_count))
         return True
 
@@ -366,6 +472,7 @@ class DeterministicScheduler:
         session = self.current_session()
         if session is None or not self.active:
             return False
+        session.step_touches.add(context.process.name)
         if context.service_owner == session.index:
             return False
         while context.service_owner is not None:
@@ -374,12 +481,56 @@ class DeterministicScheduler:
                 tag=f"context:{context.uri}",
             )
         context.service_owner = session.index
+        # Admission is a real lock: everything the previous serving
+        # session did up to its release happens-before this claim.
+        released = self._context_vcs.get(context.uri)
+        if released:
+            vector_clock.merge_into(self.session_clock(session), released)
         return True
 
     def release_context(self, context: "Context") -> None:
         session = self.current_session()
         if session is not None and context.service_owner == session.index:
+            # Merge, never overwrite: recovery replay publishes into the
+            # stored clock *while* a claim is held (it bypasses
+            # admission), and the owner has not necessarily merged that
+            # publish — replacing the dict would drop the edge forever.
+            vector_clock.merge_into(
+                self._context_vcs.setdefault(context.uri, {}),
+                self.session_clock(session),
+            )
             context.service_owner = None
+
+    def publish_context(self, context: "Context") -> None:
+        """Record a release edge on ``context`` outside the admission
+        path.  Recovery replay (eager drains and on-demand component
+        replay) touches context state without ever claiming it through
+        ``acquire_context`` — the recovery marks serialize access
+        instead — so the replaying session publishes its clock here and
+        the next admission merges it, keeping the happens-before order
+        TRC108 checks complete."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return
+        vector_clock.merge_into(
+            self._context_vcs.setdefault(context.uri, {}),
+            self.session_clock(session),
+        )
+
+    def merge_context(self, context: "Context") -> None:
+        """Record an acquire edge on ``context`` outside the admission
+        path: pull the clock the last releaser/publisher stored into
+        the current session.  ``drain_context`` consults the per-context
+        recovery state as its synchronisation — a caller admitted
+        mid-recovery finds the context already drained and relies on
+        the drainer's effects, so it must also inherit the drainer's
+        clock even though no ``acquire_context`` interleaved."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return
+        stored = self._context_vcs.get(context.uri)
+        if stored:
+            vector_clock.merge_into(self.session_clock(session), stored)
 
     # ------------------------------------------------------------------
     # recovery driving
@@ -429,6 +580,8 @@ class DeterministicScheduler:
             )
             self._batches[coalescer] = batch
             batch.waiters.append(session.index)
+            session.step_touches.add(coalescer.process.name)
+            vector_clock.merge_into(batch.vc, self.session_clock(session))
             try:
                 self.block_until(
                     lambda: batch.closed,
@@ -440,12 +593,18 @@ class DeterministicScheduler:
                 raise
             finally:
                 batch.done = True
+                # The shared write is a sync edge among all waiters.
+                vector_clock.merge_into(batch.vc, self.session_clock(session))
+                vector_clock.merge_into(self.session_clock(session), batch.vc)
                 if self._batches.get(coalescer) is batch:
                     del self._batches[coalescer]
         batch.waiters.append(session.index)
+        session.step_touches.add(coalescer.process.name)
+        vector_clock.merge_into(batch.vc, self.session_clock(session))
         self.block_until(
             lambda: batch.done, tag=f"group-ride:{coalescer.log_name}"
         )
+        vector_clock.merge_into(self.session_clock(session), batch.vc)
         if batch.error is not None:
             # The shared write died.  The rider's own ghost check above
             # normally catches the crash first (it holds a frame for the

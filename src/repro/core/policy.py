@@ -197,8 +197,10 @@ class LoggingPolicy:
             log = context.process.log
             scheduler = getattr(context.process.runtime, "scheduler", None)
             session: int | None = None
+            vc: tuple[tuple[int, int], ...] | None = None
             if scheduler is not None and scheduler.active:
                 session = scheduler.current_session_id()
+                vc = scheduler.current_vc()
             trace.record(TraceEvent(
                 kind=kind,
                 context_id=context.context_id,
@@ -218,6 +220,8 @@ class LoggingPolicy:
                 method=method,
                 session=session,
                 commit_lsn=decision.commit_lsn,
+                vc=vc,
+                replaying=context.replaying,
             ))
         return decision
 

@@ -534,6 +534,14 @@ class AppProcess:
     def finish_recovery(self) -> None:
         self.state = ProcessState.RUNNING
         self.recovery_count += 1
+        # Eager recovery replayed every context outside the admission
+        # path; publish the driving session's clock on each so later
+        # admissions order happens-after the replay (TRC108).
+        scheduler = getattr(self.runtime, "scheduler", None)
+        if scheduler is not None and scheduler.active:
+            for context in self.contexts():
+                if context is not None:
+                    scheduler.publish_context(context)
 
     def __repr__(self) -> str:
         return (

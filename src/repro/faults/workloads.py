@@ -75,6 +75,10 @@ class RunOutcome:
     #: NOT compared between golden and crashed runs — a crash legally
     #: changes the schedule from the injection point on.
     determinism: dict[str, bytes] = field(default_factory=dict)
+    #: Per-process, per-event trace reprs (concurrent workload only):
+    #: what the determinism check diffs to report the *first divergent
+    #: trace event* when two runs disagree.
+    trace_reprs: dict[str, list[str]] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +377,7 @@ def run_bookstore_concurrent(
     record: bool = False,
     on_demand: bool = False,
     workload_name: str = "bookstore-concurrent",
+    seed: int | None = None,
 ) -> RunOutcome:
     """The bookstore driven by ``CONCURRENT_BUYERS`` interleaved
     sessions under the deterministic scheduler, with group commit on.
@@ -449,7 +454,9 @@ def run_bookstore_concurrent(
 
     plane = FaultPlane(specs=tuple(specs), record=record)
     plane.bind(runtime)
-    scheduler = DeterministicScheduler(runtime, seed=CONCURRENT_SEED)
+    scheduler = DeterministicScheduler(
+        runtime, seed=CONCURRENT_SEED if seed is None else seed
+    )
     with installed(plane):
         per_session = scheduler.run(
             [make_session(i) for i in range(CONCURRENT_BUYERS)]
@@ -460,6 +467,10 @@ def run_bookstore_concurrent(
         _ensure_all_recovered(runtime)
 
     determinism = _determinism_fingerprint(runtime)
+    trace_reprs = {
+        process.name: [repr(entry) for entry in process.protocol_trace.entries]
+        for process in sorted(runtime.processes(), key=lambda p: p.name)
+    }
     state = _capture_state(runtime)
     violations = [
         f"{process_name}: {violation.render()}"
@@ -491,6 +502,7 @@ def run_bookstore_concurrent(
         violations=violations,
         retries=sum(retry_counts),
         determinism=determinism,
+        trace_reprs=trace_reprs,
     )
 
 

@@ -261,6 +261,15 @@ class PendingRecovery:
         mark.applied_lsn = mark.chain[-1] if mark.chain else mark.state_lsn
         mark.status = RECOVERED
         mark.owner = None
+        # Replay effects (including the live-continued tail call) bypass
+        # context admission; publish the replayer's clock so the next
+        # session admitted to this context is happens-after the replay.
+        scheduler = self._scheduler()
+        if scheduler is not None:
+            entry = process.context_table.get(context_id)
+            context = None if entry is None else entry.context_ref
+            if context is not None:
+                scheduler.publish_context(context)
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:

@@ -498,6 +498,20 @@ class RecoveryManager:
         pending = self._pending.pop(context_id, None)
         if pending is not None:
             self._replay(context_id, pending, final=True)
+        # The pending table is the synchronisation here: a session
+        # admitted mid-recovery depends on the drain's effects without
+        # ever acquiring the context, so the clock handoff must ride
+        # the same state.  The drainer publishes; later callers that
+        # find the context already drained inherit the drainer's clock.
+        scheduler = getattr(self.runtime, "scheduler", None)
+        if scheduler is not None and scheduler.active:
+            entry = self.process.context_table.get(context_id)
+            context = None if entry is None else entry.context_ref
+            if context is not None:
+                if pending is not None:
+                    scheduler.publish_context(context)
+                else:
+                    scheduler.merge_context(context)
 
 
 # ----------------------------------------------------------------------

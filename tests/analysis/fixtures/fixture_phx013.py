@@ -1,0 +1,23 @@
+# PHX013 fixture: durability-site / yield-point coverage.  Scanned by
+# ``repro.analysis.sites.scan_paths`` (tests/analysis/test_sites.py),
+# never imported or executed.
+
+
+def uncovered_site(plane, name):
+    plane.site_hit(f"bogus.site:{name}", name)  # expect: PHX013
+
+
+def unregistered_yield_tag(runtime):
+    runtime.sched_yield("bogus.family:server")  # expect: PHX013
+
+
+def covered_site_is_fine(plane, name):
+    plane.site_hit(f"log.force.before:{name}", name)
+
+
+def exempt_site_is_fine(plane):
+    plane.flush_cut("qlog.flush:alpha", 8)
+
+
+def registered_tag_is_fine(runtime, name):
+    runtime.sched_yield(f"net.request:{name}")

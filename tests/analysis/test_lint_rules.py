@@ -21,9 +21,12 @@ REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 ALL_RULES = sorted(RULES)
 #: rules fired by the AST lint itself; PHX010-012 come from the
-#: whole-program inference engine (tests/analysis/test_infer.py)
+#: whole-program inference engine (tests/analysis/test_infer.py),
+#: PHX013 from the durability-site/yield-point scan
+#: (tests/analysis/test_sites.py)
 LINT_RULES = [f"PHX{n:03d}" for n in range(1, 8)]
 INFER_RULES = ["PHX010", "PHX011", "PHX012"]
+SITES_RULES = ["PHX013"]
 
 
 def fixture_for(rule_id: str) -> Path:
@@ -42,7 +45,7 @@ def marked_lines(path: Path, marker: str) -> list[int]:
 
 class TestRegistry:
     def test_rule_ids_are_wellformed_and_documented(self):
-        assert ALL_RULES == LINT_RULES + INFER_RULES
+        assert ALL_RULES == LINT_RULES + INFER_RULES + SITES_RULES
         for rule in RULES.values():
             assert rule.fixit
             assert rule.paper_ref

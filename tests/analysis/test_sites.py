@@ -1,0 +1,105 @@
+"""PHX013: durability-site / yield-point coverage (repro.analysis.sites).
+
+The scan cross-checks two registries that must stay in sync: every
+FaultPlane ``site_hit``/``flush_cut`` family in the source must be
+covered by a registered yield tag (or carry an exemption), and every
+statically visible yield tag must name a registered family.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.sites import scan_paths
+from repro.concurrency.tags import (
+    EXEMPT_SITE_FAMILIES,
+    YIELD_TAGS,
+    covered_site_families,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+FIXTURE = Path(__file__).parent / "fixtures" / "fixture_phx013.py"
+
+
+def test_the_tree_is_clean():
+    """Every real durability site family is explorable (or exempt)."""
+    assert scan_paths([SRC]) == []
+
+
+def test_fixture_fires_on_exactly_the_marked_lines():
+    expected = [
+        number
+        for number, text in enumerate(
+            FIXTURE.read_text().splitlines(), start=1
+        )
+        if "# expect: PHX013" in text
+    ]
+    assert expected, "fixture has no seeded violation"
+    fired = sorted(finding.line for finding in scan_paths([FIXTURE]))
+    assert fired == expected
+    assert all(
+        finding.rule_id == "PHX013" for finding in scan_paths([FIXTURE])
+    )
+
+
+def test_uncovered_site_family_is_flagged(tmp_path):
+    bad = tmp_path / "bad_site.py"
+    bad.write_text(
+        "def checkpoint(plane, name):\n"
+        '    plane.site_hit(f"bogus.site:{name}", name)\n'
+    )
+    findings = scan_paths([tmp_path])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule_id == "PHX013"
+    assert finding.line == 2
+    assert "'bogus.site'" in finding.message
+    assert "no covering scheduler yield point" in finding.message
+
+
+def test_unregistered_yield_tag_is_flagged(tmp_path):
+    bad = tmp_path / "bad_tag.py"
+    bad.write_text(
+        "def step(runtime):\n"
+        '    runtime.sched_yield("bogus.family:x")\n'
+    )
+    findings = scan_paths([tmp_path])
+    assert len(findings) == 1
+    assert findings[0].rule_id == "PHX013"
+    assert "'bogus.family'" in findings[0].message
+    assert "registry" in findings[0].message
+
+
+def test_covered_and_exempt_sites_pass(tmp_path):
+    covered_family = next(iter(covered_site_families()))
+    exempt_family = next(iter(EXEMPT_SITE_FAMILIES))
+    registered_tag = next(iter(YIELD_TAGS))
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "def step(plane, runtime, name):\n"
+        f'    plane.site_hit(f"{covered_family}:{{name}}", name)\n'
+        f'    plane.flush_cut("{exempt_family}:alpha", 8)\n'
+        f'    runtime.sched_yield(f"{registered_tag}:{{name}}")\n'
+    )
+    assert scan_paths([tmp_path]) == []
+
+
+def test_dynamic_site_names_are_skipped_not_guessed(tmp_path):
+    # A fully dynamic first argument has no statically known family;
+    # the scan must stay silent rather than invent findings.
+    dyn = tmp_path / "dyn.py"
+    dyn.write_text(
+        "def step(plane, site):\n"
+        "    plane.site_hit(site, 'x')\n"
+        '    plane.site_hit(f"{site}:suffix", "x")\n'
+    )
+    assert scan_paths([tmp_path]) == []
+
+
+def test_unparseable_file_is_reported(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    findings = scan_paths([tmp_path])
+    assert len(findings) == 1
+    assert findings[0].rule_id == "PHX013"
+    assert "unparseable" in findings[0].message

@@ -250,7 +250,10 @@ class TestTRC105ReplayDeterminism:
 class TestEveryInvariantIsCovered:
     def test_invariant_table_matches_tests(self):
         # TRC106 (static force bounds) is covered by its own suite,
-        # tests/analysis/test_force_bounds.py
+        # tests/analysis/test_force_bounds.py; TRC107/TRC108 (causal
+        # invariants over vector-clocked traces) by
+        # tests/analysis/test_vector_clock.py
         assert sorted(INVARIANTS) == [
-            "TRC101", "TRC102", "TRC103", "TRC104", "TRC105", "TRC106"
+            "TRC101", "TRC102", "TRC103", "TRC104", "TRC105", "TRC106",
+            "TRC107", "TRC108",
         ]

@@ -1,0 +1,205 @@
+"""Vector clocks and the causal trace invariants (TRC107/TRC108).
+
+The helpers are exercised directly; the invariants are driven through
+hand-built vector-clocked traces, mirroring how
+``tests/analysis/test_trace_check.py`` drives TRC101-105.  End-to-end
+coverage (real scheduler runs producing clean vc-annotated traces)
+comes from the autouse ``check_runtime`` oracle on every concurrency
+and sweep test, plus the explorer suite's seeded mutations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import vector_clock
+from repro.analysis.trace import ProtocolTrace, TraceEvent
+from repro.analysis.trace_check import (
+    _causal_violations,
+    _race_violations,
+)
+from repro.common.messages import MessageKind
+
+
+class TestVectorClockHelpers:
+    def test_tick_and_component(self):
+        clock = vector_clock.fresh_clock()
+        assert vector_clock.component(vector_clock.snapshot(clock), 0) == 0
+        vector_clock.tick(clock, 0)
+        vector_clock.tick(clock, 0)
+        vector_clock.tick(clock, 3)
+        snap = vector_clock.snapshot(clock)
+        assert snap == ((0, 2), (3, 1))
+        assert vector_clock.component(snap, 0) == 2
+        assert vector_clock.component(snap, 3) == 1
+        assert vector_clock.component(snap, 7) == 0
+
+    def test_merge_is_pointwise_max(self):
+        dst = {0: 5, 1: 1}
+        vector_clock.merge_into(dst, {1: 4, 2: 9})
+        assert dst == {0: 5, 1: 4, 2: 9}
+
+    def test_snapshot_is_sorted_and_stable(self):
+        assert vector_clock.snapshot({2: 1, 0: 3}) == ((0, 3), (2, 1))
+
+    def test_happens_before_uses_writer_component(self):
+        # f (session 0 at tick 2) happens-before e iff e's view of
+        # session 0 has reached tick 2.
+        f_vc = ((0, 2),)
+        assert vector_clock.happens_before(f_vc, 0, ((0, 2), (1, 5)))
+        assert vector_clock.happens_before(f_vc, 0, ((0, 3),))
+        assert not vector_clock.happens_before(f_vc, 0, ((0, 1), (1, 5)))
+        assert not vector_clock.happens_before(f_vc, 0, ((1, 5),))
+
+    def test_serial_events_are_totally_ordered(self):
+        # vc/session None = main thread: ordered with everything.
+        assert vector_clock.happens_before(None, None, ((0, 1),))
+        assert vector_clock.happens_before(((0, 1),), None, None)
+
+
+def _commit(session, vc, *, stable, lsn, kind=MessageKind.REPLY_TO_INCOMING):
+    """A committing send (persistent context, optimized algorithms)."""
+    return TraceEvent(
+        kind=kind,
+        session=session,
+        vc=vc,
+        wrote_record=True,
+        record_lsn=lsn,
+        end_lsn=lsn + 1,
+        stable_lsn=stable,
+    )
+
+
+class TestTRC107CausalPrefix:
+    def test_volatile_causal_predecessor_is_reported(self):
+        trace = ProtocolTrace()
+        # Session 0 appends a record (LSN 10) that never reaches disk.
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL, session=0, vc=((0, 1),),
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        # Session 1 *saw* session 0's step (vc view 0:1) and commits
+        # with only its own record stable.
+        trace.record(_commit(
+            1, ((0, 1), (1, 1)), stable=10, lsn=12,
+        ))
+        found = [
+            v for v in _causal_violations(trace) if v.invariant == "TRC107"
+        ]
+        assert len(found) == 1
+        assert found[0].lsn == 12
+        assert "session 0" in found[0].message
+        assert "causal prefix" in found[0].message
+
+    def test_unrelated_sessions_unforced_append_passes(self):
+        trace = ProtocolTrace()
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL, session=0, vc=((0, 1),),
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        # Session 1 never synchronized with session 0 (no 0-component):
+        # session 0's volatile record is NOT in its causal prefix, so
+        # the commit is fine by TRC107 (this is exactly the slack that
+        # pipelined per-session forces would exploit).
+        trace.record(_commit(1, ((1, 1),), stable=13, lsn=12))
+        assert _causal_violations(trace) == []
+
+    def test_stable_causal_predecessor_passes(self):
+        trace = ProtocolTrace()
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL, session=0, vc=((0, 1),),
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        trace.record(_commit(1, ((0, 1), (1, 1)), stable=13, lsn=12))
+        assert _causal_violations(trace) == []
+
+    def test_serial_append_is_causally_prior_to_every_session(self):
+        trace = ProtocolTrace()
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL,
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        trace.record(_commit(1, ((1, 1),), stable=10, lsn=12))
+        found = _causal_violations(trace)
+        assert len(found) == 1 and found[0].invariant == "TRC107"
+
+    def test_crash_mark_resets_the_causal_index(self):
+        trace = ProtocolTrace()
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL, session=0, vc=((0, 1),),
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        # Crash with nothing stable: the volatile record is gone, so
+        # the post-recovery commit has no volatile causal predecessor.
+        trace.note_crash(0)
+        trace.record(_commit(1, ((0, 1), (1, 1)), stable=3, lsn=2))
+        assert _causal_violations(trace) == []
+
+    def test_replaying_and_interrupted_commits_are_exempt(self):
+        trace = ProtocolTrace()
+        trace.record(TraceEvent(
+            kind=MessageKind.INCOMING_CALL, session=0, vc=((0, 1),),
+            wrote_record=True, record_lsn=10, end_lsn=11, stable_lsn=0,
+        ))
+        exempt = TraceEvent(
+            kind=MessageKind.REPLY_TO_INCOMING, session=1,
+            vc=((0, 1), (1, 1)), wrote_record=True, record_lsn=12,
+            end_lsn=13, stable_lsn=10, replaying=True,
+        )
+        trace.record(exempt)
+        assert _causal_violations(trace) == []
+
+
+def _touch(session, vc, kind=MessageKind.INCOMING_CALL, context_id=7):
+    return TraceEvent(
+        kind=kind, context_id=context_id, session=session, vc=vc,
+        end_lsn=1, stable_lsn=1,
+    )
+
+
+class TestTRC108StateRaces:
+    def test_unordered_cross_session_touch_is_reported(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),)))
+        trace.record(_touch(1, ((1, 1),)))
+        found = _race_violations(trace)
+        assert len(found) == 1
+        assert found[0].invariant == "TRC108"
+        assert "sessions 0 and 1" in found[0].message
+        assert "context 7" in found[0].message
+
+    def test_happens_before_ordered_touches_pass(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),)))
+        # Session 1 merged session 0's release clock before touching.
+        trace.record(_touch(1, ((0, 1), (1, 1))))
+        assert _race_violations(trace) == []
+
+    def test_distinct_contexts_never_race(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),), context_id=7))
+        trace.record(_touch(1, ((1, 1),), context_id=8))
+        assert _race_violations(trace) == []
+
+    def test_serial_access_resets_the_context(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),)))
+        # Main-thread access: totally ordered with both sessions.
+        trace.record(_touch(None, None))
+        trace.record(_touch(1, ((1, 1),)))
+        assert _race_violations(trace) == []
+
+    def test_crash_mark_clears_tracking(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),)))
+        trace.note_crash(0)
+        trace.record(_touch(1, ((1, 1),)))
+        assert _race_violations(trace) == []
+
+    def test_replaying_touches_are_exempt(self):
+        trace = ProtocolTrace()
+        trace.record(_touch(0, ((0, 1),)))
+        exempt = TraceEvent(
+            kind=MessageKind.REPLY_TO_INCOMING, context_id=7, session=1,
+            vc=((1, 1),), end_lsn=1, stable_lsn=1, replaying=True,
+        )
+        trace.record(exempt)
+        assert _race_violations(trace) == []

@@ -103,9 +103,9 @@ class TestInterleaving:
             s_process.log
         )
         # The trace is identical up to the session annotation (None
-        # serially, 0 under the scheduler).
+        # serially, 0 under the scheduler) and its vector clock.
         scrubbed = [
-            replace(event, session=None)
+            replace(event, session=None, vc=None)
             for event in c_process.protocol_trace.events()
         ]
         assert repr(scrubbed) == repr(s_process.protocol_trace.entries)
@@ -137,8 +137,32 @@ class TestFailureSemantics:
             counters[0].increment()
             scheduler.block_until(lambda: False, tag="never")
 
-        with pytest.raises(InvariantViolationError, match="deadlock"):
+        # The message is pinned: it names every blocked session and the
+        # tag each one is parked at, which is the whole debugging story.
+        expected = (
+            "scheduler deadlock: all sessions blocked: "
+            "Session(#0, blocked at never)"
+        )
+        with pytest.raises(InvariantViolationError) as excinfo:
             scheduler.run([stuck])
+        assert str(excinfo.value) == expected
+
+    def test_deadlock_message_lists_every_blocked_session(self):
+        runtime, __, counters = _deploy(2)
+        scheduler = DeterministicScheduler(runtime, seed=2)
+
+        def stuck(index, tag):
+            def session():
+                counters[index].increment()
+                scheduler.block_until(lambda: False, tag=tag)
+
+            return session
+
+        with pytest.raises(InvariantViolationError) as excinfo:
+            scheduler.run([stuck(0, "claim"), stuck(1, "drain")])
+        message = str(excinfo.value)
+        assert "Session(#0, blocked at claim)" in message
+        assert "Session(#1, blocked at drain)" in message
 
     def test_yield_point_is_a_noop_off_session(self):
         runtime, __, counters = _deploy(1)
@@ -146,3 +170,85 @@ class TestFailureSemantics:
         # Main thread, scheduler attached but not running: serial path.
         runtime.sched_yield("log.append:server")
         assert counters[0].increment() == 1
+
+    def test_typoed_yield_tag_is_a_hard_error(self):
+        runtime, __, counters = _deploy(1)
+        scheduler = DeterministicScheduler(runtime, seed=0)
+
+        def session():
+            counters[0].increment()
+            runtime.sched_yield("log.apend:server")  # sic
+
+        with pytest.raises(
+            InvariantViolationError, match="unregistered yield-point tag"
+        ):
+            scheduler.run([session])
+
+
+class TestSpawn:
+    def test_spawned_worker_joins_the_run_mid_flight(self):
+        """A session spawns a system worker; the worker's effects land,
+        the run stays alive until it finishes, and ``run()`` returns
+        only the primary sessions' results."""
+        runtime, process, counters = _deploy(2)
+        worker_replies = []
+
+        def worker():
+            # More steps than the spawner has left: the run must stay
+            # alive for the worker alone.
+            for __ in range(4):
+                worker_replies.append(counters[1].increment())
+            return "worker-result"
+
+        scheduler = DeterministicScheduler(runtime, seed=7)
+        spawned = []
+
+        def spawner():
+            first = counters[0].increment()
+            spawned.append(scheduler.spawn(worker, name="drain"))
+            return [first]
+
+        def bystander():
+            return [counters[0].increment()]
+
+        results = scheduler.run([spawner, bystander])
+        # Only the two primary sessions' results come back (which of
+        # them incremented counter 0 first is the seed's choice).
+        assert sorted(results) == [[1], [2]]
+        # ...but the worker ran to completion before run() returned.
+        assert worker_replies == [1, 2, 3, 4]
+        [worker_session] = spawned
+        assert worker_session.system
+        assert worker_session.state == "done"
+        assert worker_session.result == "worker-result"
+
+    def test_spawn_outside_an_active_run_is_an_error(self):
+        runtime, __, __ = _deploy(1)
+        scheduler = DeterministicScheduler(runtime, seed=0)
+        with pytest.raises(
+            InvariantViolationError, match="outside an active run"
+        ):
+            scheduler.spawn(lambda: None)
+
+    def test_spawned_worker_inherits_the_spawner_clock(self):
+        """The child is causally after its spawner: its first traced
+        events carry the parent's vector-clock components."""
+        runtime, process, counters = _deploy(2)
+        scheduler = DeterministicScheduler(runtime, seed=7)
+
+        def worker():
+            counters[1].increment()
+
+        def spawner():
+            counters[0].increment()
+            scheduler.spawn(worker)
+
+        scheduler.run([spawner])
+        worker_events = [
+            event
+            for event in process.protocol_trace.events()
+            if event.session == 1
+        ]
+        assert worker_events, "worker must reach the server trace"
+        first_vc = dict(worker_events[0].vc)
+        assert first_vc.get(0, 0) > 0, first_vc
