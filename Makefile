@@ -56,6 +56,11 @@ explore-nightly:
 		--budget 8000 --keep-going
 	PYTHONPATH=src python -m repro.concurrency.cli crash-sweep \
 		--budget 800 --specs 3
+	PYTHONPATH=src python -m repro.concurrency.cli explore \
+		--workload ledger-pipelined --sessions 3 --budget 8000 \
+		--keep-going
+	PYTHONPATH=src python -m repro.concurrency.cli crash-sweep \
+		--workload ledger-pipelined --budget 800 --specs 3
 
 # Deterministic crash-point sweep (docs/internals.md section 9): every
 # durability boundary of every workload, crash -> recover -> compare

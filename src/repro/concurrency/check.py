@@ -1,6 +1,6 @@
 """Seed determinism checks (``make concurrency``).
 
-Two properties, both pinned by CI:
+Three properties, all pinned by CI:
 
 1. **Same-seed byte-identity** — the concurrent bookstore run twice
    with the same seed must produce byte-identical durable artifacts
@@ -13,6 +13,11 @@ Two properties, both pinned by CI:
    reaches the schedule) while still passing the full conformance
    oracle (TRC101–TRC108) and the sweep's reply/state comparisons.
    Correctness must never depend on which schedule the seed drew.
+3. **Pipelined determinism** — the two-tier throughput workload with
+   ``pipelined_commit`` on at N=8 sessions is byte-identical across
+   two same-seed runs, diverges (while staying conformant) under an
+   alternate seed, and never performs more forces per call than the
+   plain group-commit baseline on the same schedule.
 """
 
 from __future__ import annotations
@@ -40,6 +45,70 @@ def _first_trace_divergence(first, second) -> str | None:
                     f"    second: {right}"
                 )
     return None
+
+
+#: Session count for the pipelined determinism leg.
+PIPELINED_SESSIONS = 8
+
+#: Calls per session for the pipelined determinism leg.
+PIPELINED_CALLS = 6
+
+
+def _pipelined_problems() -> tuple[list[str], int]:
+    """Run the pipelined determinism leg; returns (problems, artifact
+    count of one pipelined run)."""
+    from .bench import _run
+
+    problems: list[str] = []
+    first = _run(
+        PIPELINED_SESSIONS, group_commit=True,
+        calls_per_session=PIPELINED_CALLS, pipelined=True,
+    )
+    second = _run(
+        PIPELINED_SESSIONS, group_commit=True,
+        calls_per_session=PIPELINED_CALLS, pipelined=True,
+    )
+    if first.fingerprint != second.fingerprint:
+        diverged = [
+            key
+            for (key, left), (__, right) in zip(
+                first.fingerprint, second.fingerprint
+            )
+            if left != right
+        ]
+        problems.append(
+            "pipelined fingerprints differ between same-seed runs: "
+            f"{diverged}"
+        )
+    for which, outcome in (("first", first), ("second", second)):
+        for violation in outcome.violations:
+            problems.append(f"pipelined {which} run: {violation}")
+
+    other = _run(
+        PIPELINED_SESSIONS, group_commit=True,
+        calls_per_session=PIPELINED_CALLS, pipelined=True,
+        seed=ALTERNATE_SEED,
+    )
+    for violation in other.violations:
+        problems.append(f"pipelined alternate-seed run: {violation}")
+    if other.fingerprint == first.fingerprint:
+        problems.append(
+            f"alternate seed {ALTERNATE_SEED} reproduced the pipelined "
+            "run's fingerprints exactly — the seed does not reach the "
+            "schedule"
+        )
+
+    baseline = _run(
+        PIPELINED_SESSIONS, group_commit=True,
+        calls_per_session=PIPELINED_CALLS,
+    )
+    if first.forces_per_call > baseline.forces_per_call:
+        problems.append(
+            "pipelined commit performed MORE forces per call than group "
+            f"commit ({first.forces_per_call:.3f} > "
+            f"{baseline.forces_per_call:.3f})"
+        )
+    return problems, len(first.fingerprint)
 
 
 def run_determinism_check() -> int:
@@ -84,6 +153,9 @@ def run_determinism_check() -> int:
             "final component state depends on the schedule seed"
         )
 
+    pipelined_problems, pipelined_artifacts = _pipelined_problems()
+    problems.extend(pipelined_problems)
+
     if problems:
         print("concurrency determinism check: FAIL")
         for problem in problems:
@@ -93,6 +165,9 @@ def run_determinism_check() -> int:
         "concurrency determinism check: PASS "
         f"({len(keys)} artifacts byte-identical across two same-seed "
         f"runs; alternate seed {ALTERNATE_SEED} interleaves differently "
-        "and stays conformant)"
+        f"and stays conformant; pipelined commit at "
+        f"N={PIPELINED_SESSIONS} byte-identical across "
+        f"{pipelined_artifacts} artifacts and never above the "
+        "group-commit force budget)"
     )
     return 0

@@ -52,6 +52,20 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     _print_counterexamples(dpor.counterexamples)
     ok = dpor.complete and dpor.ok
 
+    # The same space under pipelined causal commit: the relaxed commit
+    # points, gated sends, and log.submit in-flight states must stay
+    # clean on TRC101–TRC108 across the whole reduced space.
+    pipelined = explore(
+        workload="ledger-pipelined", n_sessions=2, max_schedules=budget
+    )
+    print(
+        f"DPOR n=2 (pipelined): {pipelined.schedules} schedules, "
+        f"complete={pipelined.complete}, max depth {pipelined.max_depth}, "
+        f"{len(pipelined.counterexamples)} counterexample(s)"
+    )
+    _print_counterexamples(pipelined.counterexamples)
+    ok = ok and pipelined.complete and pipelined.ok
+
     naive_budget = min(budget, 2 * dpor.schedules)
     naive = explore(n_sessions=2, max_schedules=naive_budget, naive=True)
     suffix = "" if naive.complete else " (budget-capped)"
@@ -66,14 +80,15 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     from .policies import ControlledPolicy
     from .explore import EXPLORE_WORKLOADS
 
-    probe = EXPLORE_WORKLOADS["ledger"](2, ControlledPolicy([1, 1, 0]))
-    schedule_id = encode_schedule_id("ledger", 2, probe.choices)
-    __, diverged = verify_schedule(schedule_id)
-    if diverged:
-        print(f"FAIL: replay of {schedule_id} diverged in {diverged}")
-        ok = False
-    else:
-        print(f"replay byte-identical: {schedule_id}")
+    for workload in ("ledger", "ledger-pipelined"):
+        probe = EXPLORE_WORKLOADS[workload](2, ControlledPolicy([1, 1, 0]))
+        schedule_id = encode_schedule_id(workload, 2, probe.choices)
+        __, diverged = verify_schedule(schedule_id)
+        if diverged:
+            print(f"FAIL: replay of {schedule_id} diverged in {diverged}")
+            ok = False
+        else:
+            print(f"replay byte-identical: {schedule_id}")
     print(f"explore smoke: {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 

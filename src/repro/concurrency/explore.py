@@ -103,26 +103,22 @@ class RunResult:
     journal: list = field(default_factory=list)
 
 
-def run_ledger(
+def _run_ledger(
+    config: RuntimeConfig,
     n_sessions: int,
     policy,
     specs: tuple[CrashSpec, ...] = (),
     record: bool = False,
 ) -> RunResult:
-    """N external sessions, each: private increment, shared post,
-    private increment.  Group commit stays off — the batch window
-    couples otherwise-independent sessions through the simulated
-    clock, which would make *every* pair of steps dependent and
-    DPOR-pointless."""
+    """The ledger script under an arbitrary runtime config (shared by
+    the registered workload variants below)."""
     from ..analysis.trace_check import check_runtime
     from ..faults.workloads import (
         _determinism_fingerprint,
         _ensure_all_recovered,
     )
 
-    runtime = PhoenixRuntime(
-        config=RuntimeConfig.optimized(group_commit=False)
-    )
+    runtime = PhoenixRuntime(config=config)
     runtime.external_client_machine = "alpha"
     shared_process = runtime.spawn_process("shared", machine="beta")
     ledger = shared_process.create_component(SharedLedger)
@@ -193,10 +189,50 @@ def run_ledger(
     )
 
 
+def run_ledger(
+    n_sessions: int,
+    policy,
+    specs: tuple[CrashSpec, ...] = (),
+    record: bool = False,
+) -> RunResult:
+    """N external sessions, each: private increment, shared post,
+    private increment.  Group commit stays off — the batch window
+    couples otherwise-independent sessions through the simulated
+    clock, which would make *every* pair of steps dependent and
+    DPOR-pointless."""
+    return _run_ledger(
+        RuntimeConfig.optimized(group_commit=False),
+        n_sessions, policy, specs=specs, record=record,
+    )
+
+
+def run_ledger_pipelined(
+    n_sessions: int,
+    policy,
+    specs: tuple[CrashSpec, ...] = (),
+    record: bool = False,
+) -> RunResult:
+    """The same script under ``pipelined_commit`` with a zero-width
+    batch window: batches close the moment their leader blocks, so no
+    simulated-clock sleep ever couples otherwise-independent sessions
+    (footprint-based dependence stays sound), while the causal commit
+    points, the gated sends, and the ``log.submit`` in-flight state all
+    enter the explored space."""
+    return _run_ledger(
+        RuntimeConfig.optimized(
+            group_commit=False,
+            pipelined_commit=True,
+            group_commit_window_ms=0.0,
+        ),
+        n_sessions, policy, specs=specs, record=record,
+    )
+
+
 #: Registry of explorable workloads (name -> callable with the
 #: ``run_ledger`` signature).  SCHEDULE_IDs embed the registry key.
 EXPLORE_WORKLOADS: dict[str, Callable[..., RunResult]] = {
     "ledger": run_ledger,
+    "ledger-pipelined": run_ledger_pipelined,
 }
 
 

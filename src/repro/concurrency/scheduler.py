@@ -121,7 +121,7 @@ class GroupCommitBatch:
     """
 
     __slots__ = ("coalescer", "deadline", "seq", "waiters", "closed",
-                 "done", "error", "vc")
+                 "done", "error", "vc", "wm", "targets")
 
     def __init__(
         self, coalescer: "ForceCoalescer", deadline: float, seq: int
@@ -137,6 +137,14 @@ class GroupCommitBatch:
         #: waiter when the shared write completes (a sync edge: all
         #: batched records became stable together).
         self.vc: dict[int, int] = {}
+        #: Joined durability watermarks, mirroring ``vc`` (pipelined
+        #: causal commit; see DeterministicScheduler.note_append).
+        self.wm: dict[str, int] = {}
+        #: Pipelined mode only: each waiter's commit target — the LSN
+        #: the log must be stable through before that waiter's send may
+        #: leave.  The leader skips the shared write when an earlier
+        #: in-flight write already covered every remaining target.
+        self.targets: dict[int, int] = {}
 
 
 class DeterministicScheduler:
@@ -177,6 +185,19 @@ class DeterministicScheduler:
         #: context URI; merged into the next acquirer (admission is a
         #: real lock, hence a real happens-before edge).
         self._context_vcs: dict[str, dict[int, int]] = {}
+        #: Per-session durability watermarks (pipelined causal commit):
+        #: log name -> highest post-append end-LSN the session causally
+        #: knows.  Maintained on exactly the same edges as the vector
+        #: clocks — own appends via :meth:`note_append`, merges wherever
+        #: a clock merges — so a send gated on its watermark is stable
+        #: through at least its TRC107 happens-before cone.
+        self._wms: dict[int, dict[str, int]] = {}
+        self._context_wms: dict[str, dict[str, int]] = {}
+        #: Appends that happened before the run started (or outside any
+        #: session): totally ordered with every session event, so they
+        #: sit in everyone's causal prefix — the watermark analogue of
+        #: the trace checker's serial max.
+        self._serial_wm: dict[str, int] = {}
         self._step_index = 0
         runtime.scheduler = self
 
@@ -210,6 +231,63 @@ class DeterministicScheduler:
         return vector_clock.snapshot(self.session_clock(session))
 
     # ------------------------------------------------------------------
+    # per-session durability watermarks (pipelined causal commit)
+    # ------------------------------------------------------------------
+    def session_watermarks(self, session: Session) -> dict[str, int]:
+        return self._wms.setdefault(session.index, {})
+
+    def note_append(self, process: "AppProcess") -> None:
+        """Record that the calling session appended to ``process``'s
+        log: its watermark for that log advances to the post-append end
+        LSN.  ``vector_clock.merge_into`` is a generic pointwise max, so
+        the same helper merges these dicts across sync edges."""
+        name = process.log.process_name
+        end = process.log.end_lsn
+        session = self.current_session()
+        wm = (
+            self._serial_wm
+            if session is None
+            else self.session_watermarks(session)
+        )
+        if end > wm.get(name, 0):
+            wm[name] = end
+
+    def causal_commit_lsn(self, process: "AppProcess") -> int | None:
+        """The calling session's commit target for ``process``'s log:
+        the highest LSN in its causal prefix.  Everything the session
+        appended or learned of through a sync edge is below it; records
+        of causally unrelated sessions are not — exactly the slack
+        TRC107 permits.  Clamped to ``end_lsn`` (a crash reuses LSNs;
+        :meth:`clamp_watermarks` resets the stored entries too)."""
+        session = self.current_session()
+        if session is None or not self.active:
+            return None
+        log = process.log
+        name = log.process_name
+        target = max(
+            self.session_watermarks(session).get(name, 0),
+            self._serial_wm.get(name, 0),
+        )
+        return min(target, log.end_lsn)
+
+    def clamp_watermarks(self, process: "AppProcess") -> None:
+        """A crash wiped ``process``'s volatile records: every watermark
+        entry above the stable boundary points at bytes that no longer
+        exist (and whose LSNs will be reused), so clamp them all.  Also
+        re-run after recovery's tail repair, which can truncate below
+        the crash-time boundary."""
+        name = process.log.process_name
+        bound = process.log.stable_lsn
+        for wm in self._wms.values():
+            if wm.get(name, 0) > bound:
+                wm[name] = bound
+        for wm in self._context_wms.values():
+            if wm.get(name, 0) > bound:
+                wm[name] = bound
+        if self._serial_wm.get(name, 0) > bound:
+            self._serial_wm[name] = bound
+
+    # ------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------
     def run(self, fns: list[Callable[[], object]]) -> list[object]:
@@ -220,6 +298,14 @@ class DeterministicScheduler:
         self._abort = False
         self._vcs = {s.index: {} for s in self.sessions}
         self._context_vcs.clear()
+        self._wms = {s.index: {} for s in self.sessions}
+        self._context_wms.clear()
+        # Everything already in any log happens-before every session
+        # event (the main thread never overlaps a run).
+        self._serial_wm = {
+            process.log.process_name: process.log.end_lsn
+            for process in self.runtime.processes()
+        }
         self._step_index = 0
         self.policy.begin_run(self)
         for session in self.sessions:
@@ -329,6 +415,11 @@ class DeterministicScheduler:
         parent = self.current_session()
         self._vcs[session.index] = (
             dict(self.session_clock(parent)) if parent is not None else {}
+        )
+        self._wms[session.index] = (
+            dict(self.session_watermarks(parent))
+            if parent is not None
+            else {}
         )
         self.sessions.append(session)
         thread = threading.Thread(
@@ -486,6 +577,11 @@ class DeterministicScheduler:
         released = self._context_vcs.get(context.uri)
         if released:
             vector_clock.merge_into(self.session_clock(session), released)
+        released_wm = self._context_wms.get(context.uri)
+        if released_wm:
+            vector_clock.merge_into(
+                self.session_watermarks(session), released_wm
+            )
         return True
 
     def release_context(self, context: "Context") -> None:
@@ -498,6 +594,10 @@ class DeterministicScheduler:
             vector_clock.merge_into(
                 self._context_vcs.setdefault(context.uri, {}),
                 self.session_clock(session),
+            )
+            vector_clock.merge_into(
+                self._context_wms.setdefault(context.uri, {}),
+                self.session_watermarks(session),
             )
             context.service_owner = None
 
@@ -516,6 +616,10 @@ class DeterministicScheduler:
             self._context_vcs.setdefault(context.uri, {}),
             self.session_clock(session),
         )
+        vector_clock.merge_into(
+            self._context_wms.setdefault(context.uri, {}),
+            self.session_watermarks(session),
+        )
 
     def merge_context(self, context: "Context") -> None:
         """Record an acquire edge on ``context`` outside the admission
@@ -531,6 +635,11 @@ class DeterministicScheduler:
         stored = self._context_vcs.get(context.uri)
         if stored:
             vector_clock.merge_into(self.session_clock(session), stored)
+        stored_wm = self._context_wms.get(context.uri)
+        if stored_wm:
+            vector_clock.merge_into(
+                self.session_watermarks(session), stored_wm
+            )
 
     # ------------------------------------------------------------------
     # recovery driving
@@ -560,16 +669,28 @@ class DeterministicScheduler:
     # ------------------------------------------------------------------
     # group commit
     # ------------------------------------------------------------------
-    def group_force(self, coalescer: "ForceCoalescer") -> bool:
+    def group_force(
+        self, coalescer: "ForceCoalescer", commit_lsn: int | None = None
+    ) -> bool:
         """Join (or open) the coalescer's group-commit batch.
 
         The first waiter becomes the leader: it blocks until the window
         closes, then performs the one shared write.  Later waiters are
         riders: they block until the leader finished and return False
-        (their bytes rode the shared flush)."""
+        (their bytes rode the shared flush).
+
+        In pipelined mode (``config.pipelined_commit``) the batch
+        machinery additionally overlaps: the leader yields once between
+        the window closing and the write (``log.submit``), so the next
+        batch opens while this one is in flight; a waiter whose commit
+        target an earlier in-flight write already covered releases
+        immediately instead of waiting for its own batch; and a closed
+        batch whose every remaining target is stable skips its write."""
         session = self.current_session()
         if session is None:
             return coalescer.serial_force()
+        if coalescer.pipelined:
+            return self._pipelined_force(session, coalescer, commit_lsn)
         batch = self._batches.get(coalescer)
         if batch is None or batch.closed:
             self._batch_seq += 1
@@ -582,6 +703,9 @@ class DeterministicScheduler:
             batch.waiters.append(session.index)
             session.step_touches.add(coalescer.process.name)
             vector_clock.merge_into(batch.vc, self.session_clock(session))
+            vector_clock.merge_into(
+                batch.wm, self.session_watermarks(session)
+            )
             try:
                 self.block_until(
                     lambda: batch.closed,
@@ -596,21 +720,125 @@ class DeterministicScheduler:
                 # The shared write is a sync edge among all waiters.
                 vector_clock.merge_into(batch.vc, self.session_clock(session))
                 vector_clock.merge_into(self.session_clock(session), batch.vc)
+                vector_clock.merge_into(
+                    batch.wm, self.session_watermarks(session)
+                )
+                vector_clock.merge_into(
+                    self.session_watermarks(session), batch.wm
+                )
                 if self._batches.get(coalescer) is batch:
                     del self._batches[coalescer]
         batch.waiters.append(session.index)
         session.step_touches.add(coalescer.process.name)
         vector_clock.merge_into(batch.vc, self.session_clock(session))
+        vector_clock.merge_into(batch.wm, self.session_watermarks(session))
         self.block_until(
             lambda: batch.done, tag=f"group-ride:{coalescer.log_name}"
         )
         vector_clock.merge_into(self.session_clock(session), batch.vc)
+        vector_clock.merge_into(self.session_watermarks(session), batch.wm)
         if batch.error is not None:
             # The shared write died.  The rider's own ghost check above
             # normally catches the crash first (it holds a frame for the
             # same process); cover direct callers with a stale signal so
             # the boundary converts without re-crashing the process.
             signal = CrashSignal(coalescer.log_name, "group-commit write")
+            signal.process = coalescer.process
+            signal.stale = True
+            raise signal
+        return False
+
+    def _pipelined_force(
+        self,
+        session: Session,
+        coalescer: "ForceCoalescer",
+        commit_lsn: int | None,
+    ) -> bool:
+        """Pipelined batch semantics.  Clock merges here are deliberate:
+        a waiter does NOT merge into the batch clock at join time — an
+        early-released waiter never synchronized with the batch, and a
+        join-time merge would forge a happens-before edge that could
+        hide a real TRC108 race.  Instead the leader joins the remaining
+        waiters' clocks at write time, and only waiters that stayed for
+        the write merge the batch clock back."""
+        log_name = coalescer.log_name
+        target = (
+            commit_lsn if commit_lsn is not None else coalescer.end_lsn
+        )
+        batch = self._batches.get(coalescer)
+        if batch is None or batch.closed:
+            self._batch_seq += 1
+            batch = GroupCommitBatch(
+                coalescer,
+                deadline=self.clock.now + coalescer.group_window_ms(),
+                seq=self._batch_seq,
+            )
+            self._batches[coalescer] = batch
+            batch.waiters.append(session.index)
+            batch.targets[session.index] = target
+            session.step_touches.add(coalescer.process.name)
+            try:
+                self.block_until(
+                    lambda: batch.closed or (
+                        len(batch.waiters) == 1
+                        and coalescer.stable_lsn >= target
+                    ),
+                    tag=f"group-commit:{log_name}",
+                )
+                if not batch.closed:
+                    # An earlier in-flight write covered our causal
+                    # prefix and nobody joined: cancel the batch.
+                    batch.waiters.remove(session.index)
+                    coalescer.note_gated()
+                    return False
+                # The window closed; the write is now in flight.  Yield
+                # before performing it so other sessions can open (and
+                # even close) the next batch underneath it.
+                self.yield_point(f"log.submit:{log_name}")
+                riders = len(batch.waiters) - 1
+                for index in batch.waiters:
+                    vector_clock.merge_into(batch.vc, self._vcs[index])
+                    vector_clock.merge_into(
+                        batch.wm, self._wms.setdefault(index, {})
+                    )
+                needed = max(
+                    batch.targets[index] for index in batch.waiters
+                )
+                if coalescer.stable_lsn >= needed:
+                    # Every remaining waiter's prefix was covered by an
+                    # earlier in-flight write: elide the disk write.
+                    coalescer.note_write_skip(1 + riders)
+                    return False
+                return coalescer.execute_batch(riders)
+            except BaseException as exc:
+                batch.error = exc
+                raise
+            finally:
+                batch.done = True
+                vector_clock.merge_into(self.session_clock(session), batch.vc)
+                vector_clock.merge_into(
+                    self.session_watermarks(session), batch.wm
+                )
+                if self._batches.get(coalescer) is batch:
+                    del self._batches[coalescer]
+        batch.waiters.append(session.index)
+        batch.targets[session.index] = target
+        session.step_touches.add(coalescer.process.name)
+        self.block_until(
+            lambda: batch.done or coalescer.stable_lsn >= target,
+            tag=f"group-ride:{log_name}",
+        )
+        if not batch.done:
+            # Early release: an earlier in-flight write made our causal
+            # prefix stable before our own batch got to the platter.
+            batch.waiters.remove(session.index)
+            del batch.targets[session.index]
+            coalescer.note_gated()
+            return False
+        vector_clock.merge_into(self.session_clock(session), batch.vc)
+        vector_clock.merge_into(self.session_watermarks(session), batch.wm)
+        if batch.error is not None:
+            signal = CrashSignal(log_name, "group-commit write")
             signal.process = coalescer.process
             signal.stale = True
             raise signal

@@ -32,6 +32,7 @@ class YieldTag:
 
 LOG_APPEND = "log.append"
 LOG_FORCE = "log.force"
+LOG_SUBMIT = "log.submit"
 NET_REQUEST = "net.request"
 NET_REPLY = "net.reply"
 
@@ -60,6 +61,12 @@ YIELD_TAGS: dict[str, YieldTag] = {
                 "checkpoint.end",
                 "checkpoint.publish.before_truncate",
             ),
+        ),
+        YieldTag(
+            LOG_SUBMIT,
+            "after a pipelined group-commit window closed, before its "
+            "leader performs the shared write (the closed-but-in-flight "
+            "state is schedulable: the next batch opens underneath it)",
         ),
         YieldTag(
             NET_REQUEST,

@@ -90,6 +90,22 @@ class RuntimeConfig:
     group_commit: bool = False
     group_commit_window_ms: float | None = None
 
+    # Pipelined causal commit (extension; ROADMAP item 3, after
+    # partially constrained transaction logs): relax Algorithm 2's
+    # global "force all previous records" point to the *causal* prefix
+    # TRC107 proves sufficient.  Each session keeps a per-log durability
+    # watermark (the highest LSN it causally knows, maintained by the
+    # scheduler from the same sync edges as the vector clocks); a send
+    # is released the moment the log is stable through that watermark,
+    # even while other sessions' tails are volatile, and group-commit
+    # batches pipeline — a new batch opens while the previous write is
+    # still in flight, and waiters whose causal prefix an earlier
+    # in-flight write already covered release without waiting for their
+    # own window.  Off by default: with the flag off every commit point
+    # is the whole-log ``end_lsn`` and the scheduler's output is
+    # byte-identical to group commit alone.
+    pipelined_commit: bool = False
+
     # On-demand recovery (extension; ROADMAP item 2, after Sauer &
     # Härder's instant restart and Lomet's logical recovery): restart
     # runs only the analysis pass (repair tail, re-mark, restore

@@ -126,6 +126,27 @@ class LoggingPolicy:
         )
         return context.process.log_append(record)
 
+    def _commit_point(self, context: "Context") -> int:
+        """The LSN a committing send must make stable before leaving.
+
+        The paper's Algorithm 2 uses the whole-log ``end_lsn`` ("force
+        all previous messages") — a global ordering point.  With
+        ``config.pipelined_commit`` on and the deterministic scheduler
+        active, the commit point relaxes to the sending session's
+        *causal* watermark: the highest LSN in its happens-before cone.
+        TRC107 recomputes that cone independently from the trace's
+        vector clocks, so an under-computed watermark here cannot pass
+        unnoticed.  With the flag off this is exactly ``end_lsn``."""
+        process = context.process
+        if self.config.pipelined_commit:
+            runtime = getattr(process, "runtime", None)
+            scheduler = getattr(runtime, "scheduler", None)
+            if scheduler is not None and scheduler.active:
+                target = scheduler.causal_commit_lsn(process)
+                if target is not None:
+                    return target
+        return process.log.end_lsn
+
     @staticmethod
     def _force_for(context: "Context", decision: LogDecision) -> None:
         """Force the log on behalf of a decision that already appended
@@ -133,7 +154,7 @@ class LoggingPolicy:
         :class:`_InterruptedDecision` so the appended record is still
         traced."""
         try:
-            context.process.log_force()
+            context.process.log_force(commit_lsn=decision.commit_lsn)
         except BaseException as signal:
             raise _InterruptedDecision(decision, signal) from None
 
@@ -262,7 +283,7 @@ class LoggingPolicy:
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
             decision = LogDecision(
                 wrote_record=True, forced=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision
@@ -275,7 +296,7 @@ class LoggingPolicy:
             lsn = self._append(context, MessageKind.INCOMING_CALL, message)
             decision = LogDecision(
                 wrote_record=True, forced=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision
@@ -319,7 +340,7 @@ class LoggingPolicy:
             lsn = self._append(context, MessageKind.REPLY_TO_INCOMING, reply)
             decision = LogDecision(
                 wrote_record=True, forced=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision
@@ -338,14 +359,15 @@ class LoggingPolicy:
             )
             decision = LogDecision(
                 wrote_record=True, forced=True, short=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision
         # Algorithm 2: no record — the reply is re-creatable by replay —
-        # but everything before the send must be stable.
-        commit = context.process.log.end_lsn
-        forced = context.process.log_force()
+        # but everything before the send (its causal prefix, under
+        # pipelined commit) must be stable.
+        commit = self._commit_point(context)
+        forced = context.process.log_force(commit_lsn=commit)
         return LogDecision(forced=forced, commit_lsn=commit)
 
     # ------------------------------------------------------------------
@@ -385,7 +407,7 @@ class LoggingPolicy:
             lsn = self._append(context, MessageKind.OUTGOING_CALL, message)
             decision = LogDecision(
                 wrote_record=True, forced=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision, False
@@ -428,8 +450,8 @@ class LoggingPolicy:
                 # they must not stand in for it.
                 return LogDecision.nothing(), True
             current.forced_once = True
-        commit = context.process.log.end_lsn
-        forced = context.process.log_force()
+        commit = self._commit_point(context)
+        forced = context.process.log_force(commit_lsn=commit)
         if current is not None:
             current.forced_watermark = max(current.forced_watermark, commit)
         return LogDecision(forced=forced, commit_lsn=commit), False
@@ -472,7 +494,7 @@ class LoggingPolicy:
             )
             decision = LogDecision(
                 wrote_record=True, forced=True, record_lsn=lsn,
-                commit_lsn=context.process.log.end_lsn,
+                commit_lsn=self._commit_point(context),
             )
             self._force_for(context, decision)
             return decision

@@ -80,7 +80,20 @@ class ForceCoalescer:
     def log_name(self) -> str:
         return self._log.process_name
 
-    def force(self) -> bool:
+    @property
+    def stable_lsn(self) -> int:
+        return self._log.stable_lsn
+
+    @property
+    def end_lsn(self) -> int:
+        return self._log.end_lsn
+
+    @property
+    def pipelined(self) -> bool:
+        process = self.process
+        return process is not None and process.config.pipelined_commit
+
+    def force(self, commit_lsn: int | None = None) -> bool:
         scheduler = self._group_scheduler()
         if scheduler is None:
             return self.serial_force()
@@ -88,7 +101,35 @@ class ForceCoalescer:
             # Nothing buffered: the force is free either way; don't hold
             # the session in a window for it.
             return self.serial_force()
-        return scheduler.group_force(self)
+        if (
+            self.pipelined
+            and commit_lsn is not None
+            and self._log.stable_lsn >= commit_lsn
+        ):
+            # Causally-gated send: the requester's whole causal prefix
+            # is already durable (another session's force flushed it),
+            # so Algorithm 2's "force all previous" is satisfied for
+            # everything this send could depend on — release it without
+            # a write or a window wait.  Volatile bytes above the target
+            # belong to causally unrelated sessions (TRC107's slack).
+            self.note_gated()
+            return False
+        return scheduler.group_force(self, commit_lsn)
+
+    def note_gated(self) -> None:
+        """Account one force request satisfied by causal gating: it
+        never reaches :meth:`LogManager.force`."""
+        stats = self._log.stats
+        stats.forces_requested += 1
+        stats.pipelined_gated += 1
+
+    def note_write_skip(self, waiters: int) -> None:
+        """Account a closed batch whose shared write was elided because
+        an earlier in-flight write covered every remaining target."""
+        stats = self._log.stats
+        stats.forces_requested += waiters
+        stats.pipelined_gated += waiters
+        stats.pipelined_write_skips += 1
 
     def serial_force(self) -> bool:
         wrote = self._log.force()
@@ -125,7 +166,9 @@ class ForceCoalescer:
 
     def _group_scheduler(self):
         process = self.process
-        if process is None or not process.config.group_commit:
+        if process is None or not (
+            process.config.group_commit or process.config.pipelined_commit
+        ):
             return None
         if process.state is not ProcessState.RUNNING:
             # Recovery's own forces never batch: a window wait inside
@@ -202,11 +245,16 @@ class AppProcess:
         self.runtime.sched_yield(f"log.append:{self.name}")
         self.runtime.clock.advance(self.runtime.costs.log_buffer_write)
         lsn = self.log.append(record)  # phx: disable=PHX005
+        scheduler = getattr(self.runtime, "scheduler", None)
+        if scheduler is not None and scheduler.active:
+            # Advance the appending session's durability watermark
+            # (pipelined causal commit; pure bookkeeping otherwise).
+            scheduler.note_append(self)
         self._maybe_publish_checkpoint()
         return lsn
 
-    def log_force(self) -> bool:
-        wrote = self.force_coalescer.force()
+    def log_force(self, commit_lsn: int | None = None) -> bool:
+        wrote = self.force_coalescer.force(commit_lsn)
         self._maybe_publish_checkpoint()
         # Yield AFTER the force (a durability boundary has completed).
         self.runtime.sched_yield(f"log.force:{self.name}")
@@ -507,6 +555,12 @@ class AppProcess:
         # Volatile records above the stable boundary are gone and their
         # LSNs will be reused; tell the conformance trace.
         self.protocol_trace.note_crash(self.log.stable_lsn)
+        # Per-session durability watermarks are volatile too: entries
+        # above the stable boundary point at wiped bytes whose LSNs the
+        # next incarnation will reuse.
+        scheduler = getattr(self.runtime, "scheduler", None)
+        if scheduler is not None and scheduler.active:
+            scheduler.clamp_watermarks(self)
         for entry in self.context_table.values():
             entry.context_ref = None
         self.context_table = {}

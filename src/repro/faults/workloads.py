@@ -378,6 +378,7 @@ def run_bookstore_concurrent(
     on_demand: bool = False,
     workload_name: str = "bookstore-concurrent",
     seed: int | None = None,
+    pipelined: bool = False,
 ) -> RunOutcome:
     """The bookstore driven by ``CONCURRENT_BUYERS`` interleaved
     sessions under the deterministic scheduler, with group commit on.
@@ -397,6 +398,7 @@ def run_bookstore_concurrent(
 
     config = RuntimeConfig.optimized(
         group_commit=True,
+        pipelined_commit=pipelined,
         on_demand_recovery=on_demand,
         checkpoint=CheckpointConfig(
             context_state_every_n_calls=2,
@@ -517,6 +519,22 @@ def run_bookstore_concurrent_ondemand(
         record,
         on_demand=True,
         workload_name="bookstore-concurrent-ondemand",
+    )
+
+
+def run_bookstore_concurrent_pipelined(
+    specs: tuple[CrashSpec, ...] = (), record: bool = False
+) -> RunOutcome:
+    """The concurrent bookstore with ``pipelined_commit`` on: committing
+    sends gate on per-session causal watermarks instead of the global
+    end of log, so this workload is what sweeps crash recovery around
+    the relaxed force ordering (watermarks must die with the process —
+    recovery rebuilds them from fresh appends)."""
+    return run_bookstore_concurrent(
+        specs,
+        record,
+        workload_name="bookstore-concurrent-pipelined",
+        pipelined=True,
     )
 
 
@@ -728,6 +746,7 @@ WORKLOADS = {
     "bookstore-ondemand": run_bookstore_ondemand,
     "bookstore-concurrent": run_bookstore_concurrent,
     "bookstore-concurrent-ondemand": run_bookstore_concurrent_ondemand,
+    "bookstore-concurrent-pipelined": run_bookstore_concurrent_pipelined,
     "orderflow": run_orderflow,
     "queued": run_queued,
 }

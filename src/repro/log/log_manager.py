@@ -84,6 +84,14 @@ class LogStats:
     # rode one instead of issuing their own.
     group_commit_batches: int = 0
     group_commit_riders: int = 0
+    # pipelined causal commit (config.pipelined_commit): gated counts
+    # force requests satisfied without any write or window wait because
+    # the requester's causal prefix was already stable; write_skips
+    # counts closed batches whose shared write was elided because every
+    # remaining waiter's causal prefix was covered by an earlier
+    # in-flight write.
+    pipelined_gated: int = 0
+    pipelined_write_skips: int = 0
     # per-component index (on-demand recovery extension): rebuilds is
     # the number of bounded tail scans that re-anchored the chains after
     # a restart; hits counts chain requests served from the maintained

@@ -123,7 +123,8 @@ class TestMulticallWatermark:
         forces: list[int] = []
         log = SimpleNamespace(stable_lsn=stable_lsn, end_lsn=stable_lsn)
         process = SimpleNamespace(
-            log=log, log_force=lambda: forces.append(1) or True
+            log=log,
+            log_force=lambda commit_lsn=None: forces.append(1) or True,
         )
         current = CurrentCall(message=None)
         current.forced_once = True

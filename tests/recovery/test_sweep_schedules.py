@@ -26,7 +26,12 @@ def golden():
     every schedule is compared against)."""
     return {
         name: WORKLOADS[name]()
-        for name in ("bookstore", "orderflow", "bookstore-concurrent")
+        for name in (
+            "bookstore",
+            "orderflow",
+            "bookstore-concurrent",
+            "bookstore-concurrent-pipelined",
+        )
     }
 
 
@@ -144,6 +149,121 @@ class TestConcurrentInterleavingSchedules:
             "bookstore-concurrent:log.flush:alpha-sweep-driver@29+9B",
             golden,
         )
+
+
+class TestPipelinedCrashSchedules:
+    """Crash points firing under ``pipelined_commit`` (per-session
+    durability watermarks, causally-gated sends; internals.md section
+    14).  The watermarks are volatile bookkeeping: every one of these
+    schedules crashes a process whose sessions hold non-trivial
+    watermarks, and the oracle's recover-twice byte-identity fails if a
+    watermark survives the crash (a send would be released against
+    durability that no longer exists)."""
+
+    def test_server_crash_inside_a_gating_window(self, golden):
+        """App-process force while other sessions' unforced appends sit
+        above a gated session's causal prefix: recovery must rebuild
+        watermarks from fresh appends, never from the pre-crash map."""
+        run_schedule(
+            "bookstore-concurrent-pipelined:"
+            "log.force.before:beta-bookstore-app@2",
+            golden,
+        )
+
+    def test_driver_crash_wipes_watermarked_buffered_records(
+        self, golden
+    ):
+        """Driver-process force with all four buyers' records
+        interleaved in its volatile buffer: the wipe reuses LSNs, so a
+        surviving watermark above the crash-time stable boundary would
+        gate a send against bytes that now belong to different
+        records."""
+        run_schedule(
+            "bookstore-concurrent-pipelined:"
+            "log.force.before:alpha-sweep-driver@21",
+            golden,
+        )
+
+    def test_crash_in_the_external_reply_window(self, golden):
+        """Algorithm 3's post-force, pre-reply window: the causal
+        commit point equals the global one here (the force follows the
+        session's own append), so the pipelined run must mask the crash
+        exactly like the unrelaxed workload."""
+        run_schedule(
+            "bookstore-concurrent-pipelined:"
+            "alg3.pre_reply:sweep-driver@17",
+            golden,
+        )
+
+    def test_torn_flush_clamps_watermarks_below_stable(self, golden):
+        """A torn stable write: repair truncates BELOW the crash-time
+        stable LSN, so the recovery-side clamp (not just the crash-side
+        one) must pull every session's watermark down to the repaired
+        boundary before traffic resumes."""
+        run_schedule(
+            "bookstore-concurrent-pipelined:"
+            "log.flush:alpha-sweep-driver@29+9B",
+            golden,
+        )
+
+    @pytest.mark.parametrize("boundary", ["restored", "pass2"])
+    def test_second_crash_during_pipelined_recovery(
+        self, golden, boundary
+    ):
+        """Crash-during-recovery composite: the second crash must
+        discard the watermarks the first recovery's replay traffic
+        rebuilt, and the third pass still converges byte-identically
+        (recover-twice idempotency under the relaxed ordering)."""
+        run_schedule(
+            "bookstore-concurrent-pipelined:"
+            "log.force.before:alpha-sweep-driver@18"
+            f"/recovery.{boundary}:sweep-driver@1",
+            golden,
+        )
+
+
+class TestPipelinedScheduleIds:
+    """Replayable DPOR SCHEDULE_IDs over the ``ledger-pipelined``
+    explore workload, pinned from the exhaustive n=2 exploration
+    (schedule space and crash composites both ran clean; these IDs keep
+    representative schedules — maximal root interleaving and each
+    derived crash point — replayable byte-identically on the per-push
+    path)."""
+
+    PINNED = [
+        # Maximal interleaving at the root of the schedule tree.
+        "phxsched|v1|ledger-pipelined|n2|"
+        "1100111111110000000000000000000000000000001111111111111111"
+        "11111",
+        "phxsched|v1|ledger-pipelined|n2|10101",
+        # Crash composites: the shared log's first force and each
+        # private log's force, armed mid-interleaving.
+        "phxsched|v1|ledger-pipelined|n2"
+        "|crash=log.force.before:beta-shared@1"
+        "|101011100000000000000000000000000000001111111111111111111"
+        "11111111111",
+        "phxsched|v1|ledger-pipelined|n2"
+        "|crash=log.force.before:beta-private-0@3"
+        "|101011111111000000000000000000000000000000000011111111111"
+        "1111111111",
+        "phxsched|v1|ledger-pipelined|n2"
+        "|crash=log.force.before:beta-private-1@1"
+        "|101011111111000000000000000000000000000000111111111111111"
+        "1111111111",
+    ]
+
+    @pytest.mark.parametrize("schedule_id", PINNED)
+    def test_pinned_schedule_replays_clean(self, schedule_id):
+        from repro.concurrency.explore import verify_schedule
+
+        run, diverged = verify_schedule(schedule_id)
+        assert diverged == [], f"{schedule_id} diverged in {diverged}"
+        assert run.error is None, run.error
+        assert run.violations == [], run.violations
+        # Both sessions completed their three calls through any
+        # injected crash.
+        assert run.replies is not None
+        assert sorted(len(r) for r in run.replies) == [3, 3]
 
 
 class TestCheckpointTruncationBoundary:
