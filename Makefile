@@ -1,7 +1,8 @@
 # Convenience targets (everything works offline).
 
 .PHONY: install test bench perf report examples all clean lint infer \
-	check sweep sweep-smoke concurrency explore-smoke explore-nightly
+	check sweep sweep-smoke concurrency explore-smoke explore-nightly \
+	plan plan-write
 
 install:
 	python setup.py develop
@@ -32,7 +33,17 @@ lint:
 infer:
 	PYTHONPATH=src python -m repro.analysis infer --check src/repro/apps
 
-check: lint infer concurrency explore-smoke
+# Shard-placement & logging-strategy plan gate (docs/internals.md
+# section 15): rebuilds the plan from the deploy wiring and fails on
+# PHX014-016 findings or a byte-stale plans/apps.logplan.json.
+# `plan-write` regenerates the committed artifact after wiring changes.
+plan:
+	PYTHONPATH=src python -m repro.analysis plan --check
+
+plan-write:
+	PYTHONPATH=src python -m repro.analysis plan --write
+
+check: lint infer plan concurrency explore-smoke
 	PYTHONPATH=src python -m pytest -x -q
 
 # Same-seed determinism gate (docs/internals.md section 11): the

@@ -1,0 +1,43 @@
+"""Plan conformance: observed forces vs per-strategy budgets.
+
+The static planner (``repro-analyze plan``) prices every component's
+logging strategy; TRC109 replays recorded traces against the resulting
+budgets.  This benchmark drives the bookstore and orderflow workloads
+and checks the accounting both ways:
+
+* the observed forces of every process stay within the committed
+  (message-strategy) plan's span budgets, and
+* re-budgeting the same spans under whole-app state/command
+  assignments never loosens a budget — the planner's predicted saving
+  is real headroom, not a different bound.
+
+Runs 2 sessions per workload by default; ``REPRO_BENCH_FULL=1`` scales
+to 8 (the EXPERIMENTS.md configuration).
+"""
+
+import pytest
+
+from repro.bench import plan_forces_comparison
+
+from conftest import run_experiment
+
+
+def bench_plan_forces(benchmark):
+    table = run_experiment(benchmark, plan_forces_comparison)
+
+    assert table.rows, "no planned spans were exercised"
+    for label, cells in table.rows:
+        observed, message, state, command = (
+            cell.measured for cell in cells
+        )
+        # TRC109: the live (message-logging) run respects its budget
+        assert observed <= message + 1e-9, label
+        # server-durable strategies only tighten the same spans
+        assert state <= message + 1e-9, label
+        assert command <= message + 1e-9, label
+    # somewhere the planner must predict a strict saving, or the whole
+    # strategy analysis is vacuous on these apps
+    assert any(
+        cells[3].measured < cells[1].measured - 1e-9
+        for __, cells in table.rows
+    )

@@ -17,6 +17,15 @@ Subcommands:
   FaultPlane durability site family must be covered by a registered
   scheduler yield point (or carry an exemption) so the schedule
   explorer can reach it; also flags unregistered yield-tag literals.
+* ``plan [paths...] [--check] [--write] [--format json|text|sarif]``
+  — the static shard-placement & logging-strategy planner: build the
+  priced component-interaction graph, partition it into log shards,
+  assign each component its cheapest safe logging strategy and emit
+  the deterministic ``LogPlan`` JSON artifact.  ``--check`` is the CI
+  gate: rebuild the plan under the committed plan's configuration,
+  byte-compare, and report PHX014/PHX015/PHX016.  ``--write`` commits
+  the rebuilt plan to ``--against`` (default
+  ``plans/apps.logplan.json``).
 * ``rules`` — list every PHX lint rule and TRC trace invariant with its
   paper reference.
 * ``trace-demo`` — run a small crash/recover workload and print the
@@ -40,6 +49,8 @@ _DEFAULT_TARGETS = ("src/repro/apps", "src/repro/core")
 _DEFAULT_INFER_TARGETS = ("src/repro/apps",)
 #: the PHX013 site scan covers everything that can hit a crash site
 _DEFAULT_SITES_TARGETS = ("src/repro",)
+#: the committed shard/strategy plan artifact
+DEFAULT_PLAN_PATH = "plans/apps.logplan.json"
 
 
 def _resolve_paths(raw: list[str], defaults: tuple[str, ...]) -> list[Path] | None:
@@ -136,6 +147,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         return 2
     model = ProgramModel.from_paths(list(iter_py_files(paths)))
     result = run_inference(model)
+    if args.format == "sarif":
+        # SARIF carries only the findings (PHX010-013 family); the
+        # classification table stays text/json
+        return _emit_findings(result.findings, "sarif", "")
     if args.check:
         for finding in result.findings:
             print(finding.render())
@@ -223,6 +238,143 @@ def _cmd_cost(args: argparse.Namespace) -> int:
         "Section 3.5 is enabled"
     )
     return 0
+
+
+def _parse_overrides(raw: list[str]) -> dict[str, str] | None:
+    from .plan import ASSIGNABLE
+
+    overrides: dict[str, str] = {}
+    for item in raw:
+        name, _, strategy = item.partition("=")
+        if not name or strategy not in ASSIGNABLE:
+            print(
+                f"repro-analyze plan: bad --force-strategy {item!r} "
+                f"(want NAME={'|'.join(ASSIGNABLE)})",
+                file=sys.stderr,
+            )
+            return None
+        overrides[name] = strategy
+    return overrides
+
+
+def _plan_text(plan) -> None:
+    header = (
+        f"{'component':28s} {'type':12s} {'strategy':9s} "
+        f"{'planner':9s} {'forces':>7s} shard"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in plan.components:
+        print(
+            f"{entry['name']:28s} {entry['type']:12s} "
+            f"{entry['strategy']:9s} {entry['planner_strategy']:9s} "
+            f"{entry['predicted']['forces']:>7g} "
+            f"{entry['shard'] or '-'}"
+        )
+    print()
+    for shard in plan.shards:
+        print(
+            f"shard {shard['id']}: {len(shard['components'])} "
+            f"component(s), message load {shard['force_load']:g}, "
+            f"planned budget {shard['planned_force_budget']:g}"
+        )
+    cut = [e for e in plan.edges if e["cross_shard"]]
+    print(
+        f"{len(plan.edges)} edge(s), {len(cut)} cross-shard "
+        f"(cut weight {sum(e['weight'] for e in cut):g})"
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .model import ProgramModel, iter_py_files
+    from .plan import (
+        LogPlan,
+        PlanConfig,
+        build_plan,
+        drift_findings,
+        plan_findings,
+    )
+
+    paths = _resolve_paths(args.paths, _DEFAULT_INFER_TARGETS)
+    if paths is None:
+        return 2
+    overrides = _parse_overrides(args.force_strategy or [])
+    if overrides is None:
+        return 2
+
+    against = Path(args.against)
+    committed: LogPlan | None = None
+    if args.check:
+        if not against.exists():
+            print(
+                f"repro-analyze plan --check: no committed plan at "
+                f"{against} (run plan --write first)",
+                file=sys.stderr,
+            )
+            return 2
+        committed_text = against.read_text()
+        committed = LogPlan.loads(committed_text)
+        # rebuild under the committed configuration so the comparison
+        # is apples-to-apples; CLI strategy overrides stack on top
+        config = committed.config
+        config.overrides.update(overrides)
+    else:
+        config = PlanConfig(
+            shards=args.shards,
+            loop_weight=args.loop_weight,
+            cut_threshold=args.cut_threshold,
+            overrides=overrides,
+        )
+
+    model = ProgramModel.from_paths(list(iter_py_files(paths)))
+    plan = build_plan(model, config)
+    findings = plan_findings(plan)
+    if committed is not None:
+        findings.extend(drift_findings(plan, committed, str(against)))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.col))
+
+    if args.write:
+        against.parent.mkdir(parents=True, exist_ok=True)
+        plan.write(against)
+
+    if args.format == "sarif":
+        return _emit_findings(findings, "sarif", "")
+    if args.check:
+        byte_identical = (
+            committed is not None
+            and not overrides
+            and plan.dumps() == committed_text
+        )
+        for finding in findings:
+            print(finding.render())
+        if findings or not (byte_identical or overrides or args.write):
+            if not findings:
+                print(
+                    f"plan --check: {against} is stale (byte diff vs "
+                    "the rebuilt plan); run plan --write",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"plan --check: {len(findings)} finding(s)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"plan --check: clean — {against} matches the wiring "
+            f"({len(plan.components)} component(s), "
+            f"{len(plan.shards)} shard(s))"
+        )
+        return 0
+    if args.format == "json":
+        # the canonical artifact bytes — two runs over one tree are
+        # byte-identical
+        sys.stdout.write(plan.dumps())
+    else:
+        _plan_text(plan)
+    for finding in findings:
+        print(finding.render(), file=sys.stderr)
+    return 1 if findings else 0
 
 
 def _cmd_sites(args: argparse.Namespace) -> int:
@@ -319,9 +471,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     infer_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits findings only)",
     )
     infer_parser.set_defaults(func=_cmd_infer)
 
@@ -336,6 +488,62 @@ def main(argv: list[str] | None = None) -> int:
         help="output format (default: json; machine-readable)",
     )
     cost_parser.set_defaults(func=_cmd_cost)
+
+    plan_parser = sub.add_parser(
+        "plan", help="static shard-placement & logging-strategy planner"
+    )
+    plan_parser.add_argument("paths", nargs="*", help="files or dirs")
+    plan_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: rebuild under the committed plan's config, "
+             "byte-compare, and report PHX014/PHX015/PHX016",
+    )
+    plan_parser.add_argument(
+        "--write",
+        action="store_true",
+        help="write the rebuilt plan to --against",
+    )
+    plan_parser.add_argument(
+        "--format",
+        choices=("json", "text", "sarif"),
+        default="json",
+        help="output format (default: json — the canonical artifact "
+             "bytes; sarif emits findings only)",
+    )
+    plan_parser.add_argument(
+        "--against",
+        default=DEFAULT_PLAN_PATH,
+        help=f"committed plan artifact (default: {DEFAULT_PLAN_PATH})",
+    )
+    plan_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="target shard count (default: one per process signature)",
+    )
+    plan_parser.add_argument(
+        "--loop-weight",
+        type=int,
+        default=4,
+        help="assumed iterations when pricing loop edges (default: 4)",
+    )
+    plan_parser.add_argument(
+        "--cut-threshold",
+        type=float,
+        default=8.0,
+        help="PHX015 fires on cuttable cross-shard edges pricing more "
+             "forces per sweep than this (default: 8.0)",
+    )
+    plan_parser.add_argument(
+        "--force-strategy",
+        action="append",
+        metavar="NAME=STRATEGY",
+        help="declare a component's strategy (message|state|command); "
+             "PHX014 prices disagreements with the planner's choice "
+             "and TRC109 budgets take the declaration at its word",
+    )
+    plan_parser.set_defaults(func=_cmd_plan)
 
     sites_parser = sub.add_parser(
         "sites", help="PHX013: durability-site yield-point coverage"

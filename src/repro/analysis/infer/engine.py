@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..lint import Finding
+from ..lint import Finding, sort_findings
 from ..model import ClassInfo, ProgramModel
 from .facts import ClassFacts, MethodFacts, Origin, OutCall, class_facts
 from .wiring import Wiring, build_wiring
@@ -399,7 +399,7 @@ def run_inference(model: ProgramModel) -> InferenceResult:
         findings.extend(class_findings)
         class_reports.append(report)
     findings.extend(_method_findings(engine))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    sort_findings(findings)
     return InferenceResult(
         reports=class_reports,
         findings=findings,

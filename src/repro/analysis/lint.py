@@ -358,13 +358,21 @@ class _ModuleLinter:
             )
 
 
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """The one canonical finding order — (file, line, rule id, col) —
+    so CI diffs and clean-tree pins are byte-stable across filesystems
+    and traversal orders."""
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.col))
+    return findings
+
+
 def lint_model(model: ProgramModel) -> list[Finding]:
     """Lint every module of an already-built program model."""
     findings: list[Finding] = []
     for module in model.modules.values():
         types = model.component_types_for(module)
         findings.extend(_ModuleLinter(module, types).run())
-    return findings
+    return sort_findings(findings)
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:

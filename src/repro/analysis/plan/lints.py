@@ -1,0 +1,127 @@
+"""Planner diagnostics: PHX014, PHX015, PHX016.
+
+* **PHX014** — a component's *declared* strategy (a plan override)
+  disagrees with the statically cheapest safe strategy; the finding
+  prices the difference from the plan's per-strategy cost table.
+* **PHX015** — a cross-shard edge between co-shardable components
+  (same process signature) whose priced force traffic exceeds the
+  plan's cut threshold: the partition is paying avoidable cross-log
+  traffic.
+* **PHX016** — plan drift: the committed plan disagrees with what the
+  planner derives from the current ``apps/*/deploy`` wiring (component
+  set, process placement, shard membership, or strategy).
+"""
+
+from __future__ import annotations
+
+from ..lint import Finding
+from .planner import LogPlan
+
+
+def plan_findings(plan: LogPlan) -> list[Finding]:
+    """PHX014 + PHX015 over one plan."""
+    out: list[Finding] = []
+    for entry in plan.components:
+        if not entry["override"]:
+            continue
+        declared = entry["strategy"]
+        choice = entry["planner_strategy"]
+        declared_cost = entry["costs"].get(declared)
+        choice_cost = entry["costs"][choice]
+        if declared_cost is None:
+            out.append(Finding(
+                entry["path"], entry["line"], 0, "PHX014",
+                f"declared logging strategy '{declared}' for "
+                f"{entry['name']} is statically unsafe (re-execution "
+                "could escape the shard's recovery scope); the "
+                f"cheapest safe strategy is '{choice}' "
+                f"(~{choice_cost['forces']:g} forces per sweep). "
+                f"Fix: drop the override or assign "
+                f"--force-strategy {entry['name']}={choice}",
+            ))
+            continue
+        if declared == choice:
+            continue
+        saved_forces = declared_cost["forces"] - choice_cost["forces"]
+        saved_records = (
+            declared_cost["records"] - choice_cost["records"]
+        )
+        out.append(Finding(
+            entry["path"], entry["line"], 0, "PHX014",
+            f"declared logging strategy '{declared}' for "
+            f"{entry['name']} is statically suboptimal: '{choice}' is "
+            f"safe and saves ~{saved_forces:g} forces "
+            f"({saved_records:+g} records) per sweep "
+            f"(declared {declared_cost['forces']:g}f/"
+            f"{declared_cost['records']:g}r vs planned "
+            f"{choice_cost['forces']:g}f/{choice_cost['records']:g}r). "
+            f"Fix: assign --force-strategy {entry['name']}={choice}",
+        ))
+
+    threshold = plan.config.cut_threshold
+    by_name = {entry["name"]: entry for entry in plan.components}
+    for edge in plan.edges:
+        if not edge["cross_shard"] or not edge["cuttable"]:
+            continue
+        if edge["subordinate"]:
+            continue
+        if edge["weight"] <= threshold:
+            continue
+        src = by_name.get(edge["src"])
+        if src is None:
+            continue
+        out.append(Finding(
+            src["path"], src["line"], 0, "PHX015",
+            f"hot cross-shard edge {edge['src']} -> {edge['dst']} "
+            f"prices {edge['weight']:g} forces per sweep across the "
+            f"shard cut (threshold {threshold:g}); co-shard the pair "
+            "(fewer --shards, or adjust the partition) or raise "
+            "--cut-threshold if the cut is deliberate",
+        ))
+    out.sort(key=lambda f: (f.path, f.line, f.rule_id, f.col))
+    return out
+
+
+def drift_findings(
+    fresh: LogPlan, committed: LogPlan, plan_path: str
+) -> list[Finding]:
+    """PHX016: committed plan vs the wiring-derived plan."""
+    out: list[Finding] = []
+    fresh_by_name = {e["name"]: e for e in fresh.components}
+    committed_by_name = {e["name"]: e for e in committed.components}
+    for name in sorted(set(fresh_by_name) - set(committed_by_name)):
+        entry = fresh_by_name[name]
+        out.append(Finding(
+            entry["path"], entry["line"], 0, "PHX016",
+            f"component {name} is deployed by the wiring but missing "
+            f"from the committed plan {plan_path}. Fix: regenerate the "
+            "plan (make plan-write)",
+        ))
+    for name in sorted(set(committed_by_name) - set(fresh_by_name)):
+        out.append(Finding(
+            plan_path, 1, 0, "PHX016",
+            f"component {name} is in the committed plan but no longer "
+            "deployed by any apps/*/deploy wiring. Fix: regenerate the "
+            "plan (make plan-write)",
+        ))
+    for name in sorted(set(fresh_by_name) & set(committed_by_name)):
+        fresh_entry = fresh_by_name[name]
+        committed_entry = committed_by_name[name]
+        for key, label in (
+            ("processes", "process placement"),
+            ("shard", "shard"),
+            ("strategy", "logging strategy"),
+            ("type", "component type"),
+        ):
+            if fresh_entry[key] != committed_entry[key]:
+                out.append(Finding(
+                    fresh_entry["path"], fresh_entry["line"], 0,
+                    "PHX016",
+                    f"plan drift for {name}: the wiring derives "
+                    f"{label} {fresh_entry[key]!r} but the committed "
+                    f"plan {plan_path} records "
+                    f"{committed_entry[key]!r}. Fix: regenerate the "
+                    "plan (make plan-write) or fix the deploy wiring",
+                ))
+    out.sort(key=lambda f: (f.path, f.line, f.rule_id, f.col))
+    return out

@@ -1,0 +1,188 @@
+"""Per-component logging-strategy lattice and pricing.
+
+The paper logs every persistent interaction as *messages* (Algorithms
+2/3).  *Adaptive Logging for Distributed In-memory Databases*
+(PAPERS.md) shows a priced cost model can pick a cheaper strategy per
+unit of work; the planner makes the same choice per component:
+
+``none``
+    Stateless components (functional/read-only) log nothing
+    (Algorithms 4/5) — there is nothing to choose.
+``inlined``
+    Subordinates log through their parent's context (Section 3.2.1);
+    their calls are never intercepted.
+``message``
+    The paper's strategy and the only one today's runtime implements:
+    per intercepted call the server logs a forced context record pair
+    and the *caller* pays a pre-send force (Algorithm 2).
+``state``
+    A forced context-record (state snapshot) per incoming call.  The
+    snapshot makes the exchange durable on the server alone, so
+    *internal* callers skip their pre-send force — the saving grows
+    with fan-in — at the price of snapshot-sized records (one full
+    state image, ``attr_count`` record units, per call).  Safe for any
+    persistent component: the snapshot subsumes replay.
+``command``
+    A forced command record per incoming call; recovery *re-executes*
+    the command.  Same fan-in saving as ``state`` with unit-sized
+    records, plus co-sharded outgoing calls need no pre-send force
+    (re-execution is contained in one log's recovery scope).  Safe
+    only when every persistent outgoing edge is co-sharded and no
+    edge resolves to an unknown target — re-executing a call that
+    escaped the shard could double-apply it.
+
+External entries always keep their Algorithm 3 forces: the client is
+outside every shard, so the window-of-vulnerability argument
+(Section 3.1.2) is unaffected by the server's strategy choice.
+
+Costs are (forces, records) per uniform sweep (one invocation of every
+entry method of every component).  Ties break toward the *simpler*
+strategy: message < state < command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import GraphNode, InteractionGraph
+
+#: simpler-first tie-break order
+STRATEGY_RANK = {"none": 0, "inlined": 0, "message": 0, "state": 1,
+                 "command": 2}
+
+#: strategies a component may be pinned to via ``--force-strategy``
+ASSIGNABLE = ("message", "state", "command")
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    forces: float
+    records: float
+
+    def to_dict(self) -> dict:
+        return {"forces": self.forces, "records": self.records}
+
+
+def strategy_costs(
+    graph: InteractionGraph,
+    node: GraphNode,
+    shard_of: dict[str, str],
+) -> dict[str, StrategyCost | None]:
+    """Price every strategy for one node (``None`` = statically unsafe).
+
+    ``shard_of`` maps node name -> shard id; ``command`` consults it to
+    decide which outgoing edges are co-sharded.
+    """
+    if node.ctype in ("functional", "read_only"):
+        return {"none": StrategyCost(0.0, 0.0)}
+    if node.ctype == "subordinate":
+        return {"inlined": StrategyCost(0.0, 0.0)}
+
+    in_edges = graph.in_edges(node.name)
+    out_edges = graph.out_edges(node.name)
+    in_server_forces = sum(e.server_forces for e in in_edges)
+    in_server_records = sum(e.server_records for e in in_edges)
+    in_client_forces = sum(e.client_forces for e in in_edges)
+    out_client_forces = (
+        sum(e.client_forces for e in out_edges)
+        + node.unknown_out_forces
+    )
+    out_client_records = (
+        sum(e.client_records for e in out_edges)
+        + node.unknown_out_records
+    )
+    out_client_forces = max(
+        0.0, out_client_forces - node.multicall_saved
+    )
+    incoming_calls = (
+        sum(e.calls for e in in_edges) + len(node.entry_methods)
+    )
+
+    costs: dict[str, StrategyCost | None] = {
+        "message": StrategyCost(
+            forces=(
+                node.entry_forces + in_server_forces + out_client_forces
+            ),
+            records=(
+                node.entry_records
+                + in_server_records
+                + out_client_records
+            ),
+        ),
+        "state": StrategyCost(
+            forces=(
+                node.entry_forces
+                + in_server_forces
+                + out_client_forces
+                - in_client_forces
+            ),
+            records=(
+                node.entry_records + node.attr_count * incoming_calls
+            ),
+        ),
+    }
+
+    unsafe_command = False
+    cross_client_forces = 0.0
+    my_shard = shard_of.get(node.name)
+    for edge in out_edges:
+        target = graph.nodes.get(edge.dst)
+        target_type = target.ctype if target else "persistent"
+        if target_type in ("functional", "read_only"):
+            continue
+        if shard_of.get(edge.dst) != my_shard:
+            cross_client_forces += edge.client_forces
+    if node.unknown_out_calls:
+        # re-executing a call whose target cannot be placed could
+        # double-apply it outside the shard's recovery scope
+        unsafe_command = True
+    if "<unknown>" in node.processes or my_shard is None:
+        unsafe_command = True
+    if unsafe_command:
+        costs["command"] = None
+    else:
+        costs["command"] = StrategyCost(
+            forces=(
+                node.entry_forces
+                + in_server_forces
+                + min(cross_client_forces, out_client_forces)
+                - in_client_forces
+            ),
+            records=node.entry_records + incoming_calls,
+        )
+    return costs
+
+
+def cheapest_safe(
+    costs: dict[str, StrategyCost | None],
+) -> tuple[str, StrategyCost]:
+    """The planner's choice: min (forces, records, rank)."""
+    best_name = None
+    best_cost = None
+    for name in sorted(costs, key=lambda n: STRATEGY_RANK.get(n, 9)):
+        cost = costs[name]
+        if cost is None:
+            continue
+        if best_cost is None or (
+            (cost.forces, cost.records)
+            < (best_cost.forces, best_cost.records)
+        ):
+            best_name, best_cost = name, cost
+    assert best_name is not None and best_cost is not None
+    return best_name, best_cost
+
+
+def message_load(graph: InteractionGraph, node: GraphNode) -> float:
+    """The node's force load per sweep under today's message logging —
+    the partitioner's balancing weight."""
+    if node.ctype in ("functional", "read_only", "subordinate"):
+        return 0.0
+    out_client = (
+        sum(e.client_forces for e in graph.out_edges(node.name))
+        + node.unknown_out_forces
+    )
+    return (
+        node.entry_forces
+        + sum(e.server_forces for e in graph.in_edges(node.name))
+        + max(0.0, out_client - node.multicall_saved)
+    )

@@ -121,6 +121,38 @@ _RULES = [
         "Section 2.3 (crash points are the interesting schedule "
         "points; exploration must reach every durability boundary)",
     ),
+    # PHX014-016 come from the shard/strategy planner
+    # (repro-analyze plan), not the per-file lint pass.
+    Rule(
+        "PHX014",
+        "declared logging strategy is statically suboptimal",
+        "assign the strategy the finding names (the message prices the "
+        "per-sweep force saving), or keep the override and accept the "
+        "cost: the planner picks the cheapest strategy the safety "
+        "lattice allows",
+        "Section 3 cost model + Adaptive Logging (PAPERS.md): the "
+        "priced per-component strategy choice beats any single global "
+        "strategy",
+    ),
+    Rule(
+        "PHX015",
+        "hot cross-shard edge exceeds the shard-cut threshold",
+        "co-shard the two components (they share a process signature, "
+        "so the cut is avoidable), or raise --cut-threshold if the "
+        "partition is deliberate",
+        "Section 3.5 + ROADMAP item 1 (cross-log force traffic is the "
+        "multi-log scale-out's unit of cost)",
+    ),
+    Rule(
+        "PHX016",
+        "deploy wiring disagrees with the committed log plan",
+        "regenerate the committed plan (make plan-write) after wiring "
+        "changes, or fix the apps/*/deploy wiring to match the planned "
+        "placement",
+        "ROADMAP item 1 (the plan is the contract the multi-log "
+        "runtime implements against; drift silently unplans "
+        "components)",
+    ),
 ]
 
 RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}

@@ -26,7 +26,7 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-from .lint import Finding
+from .lint import Finding, sort_findings
 
 #: Callables whose first argument is a durability site name.
 _SITE_CALLS = {"site_hit", "flush_cut"}
@@ -117,7 +117,7 @@ def scan_paths(paths: list[Path]) -> list[Finding]:
                             "(repro.concurrency.tags)"
                         ),
                     ))
-    return findings
+    return sort_findings(findings)
 
 
 def _python_files(paths: list[Path]) -> list[Path]:

@@ -64,6 +64,8 @@ INVARIANTS: dict[str, str] = {
               "records) is stable at its commit point",
     "TRC108": "no two sessions touch one context's state without an "
               "intervening happens-before edge",
+    "TRC109": "observed per-span and per-shard force counts stay "
+              "within the committed LogPlan's strategy budgets",
 }
 
 

@@ -21,6 +21,7 @@ from .experiments import (
     table7,
     table8,
 )
+from .plan_forces import plan_forces_comparison
 from .harness import (
     CLIENT_KINDS,
     SERVER_KINDS,
@@ -39,6 +40,7 @@ __all__ = [
     "figure9",
     "multicall_ablation",
     "queue_comparison",
+    "plan_forces_comparison",
     "checkpoint_interval_sweep",
     "attachment_omission_ablation",
     "short_record_ablation",

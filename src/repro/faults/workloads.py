@@ -200,6 +200,7 @@ def _run_phoenix(
         f"{process_name}: {violation.render()}"
         for process_name, violation in check_runtime(runtime)
     ]
+    violations.extend(_plan_violations(runtime))
     # Recover-twice idempotency: crash every process and recover again —
     # replay must regenerate byte-identical state (and the second
     # recovery must tolerate whatever the first one left on the logs).
@@ -344,6 +345,19 @@ def _concurrent_force_bounds():
     return _FORCE_BOUNDS
 
 
+def _plan_violations(runtime) -> list[str]:
+    """TRC109: replay this runtime's traces against every committed
+    LogPlan's force budgets.  Silent when no plan file is present (or
+    ``REPRO_LOG_PLANS`` is set empty)."""
+    from ..analysis.plan import check_runtime_plan, committed_plans
+
+    return [
+        f"{process_name}: {violation.render()}"
+        for plan in committed_plans()
+        for process_name, violation in check_runtime_plan(runtime, plan)
+    ]
+
+
 def _concurrent_buyer_steps(index: int) -> tuple:
     buyer = f"buyer-{index}"
     store = f"store{index}"
@@ -486,6 +500,7 @@ def run_bookstore_concurrent(
             runtime, _concurrent_force_bounds()
         )
     )
+    violations.extend(_plan_violations(runtime))
     for process in runtime.processes():
         process.crash()
     _ensure_all_recovered(runtime)

@@ -48,6 +48,70 @@ class TestLintFormats:
         assert main(["lint", "no/such/dir"]) == 2
 
 
+class TestSarifEssentials:
+    """Schema essentials across the SARIF-emitting subcommands: every
+    result names a driver rule, carries a physical location, and every
+    listed rule ships its fix-it as ``help`` text (PHX010-013 family
+    via ``infer``/``sites``, PHX001-007 via ``lint``)."""
+
+    @pytest.mark.parametrize(
+        "argv, expected_rule",
+        [
+            (["lint", "--format", "sarif"], "PHX002"),
+            (["infer", "--format", "sarif"], "PHX010"),
+            (["sites", "--format", "sarif"], "PHX013"),
+        ],
+    )
+    def test_rules_locations_and_fixits(self, capsys, argv, expected_rule):
+        from repro.analysis.rules import RULES
+
+        fixture = str(FIXTURES / f"fixture_{expected_rule.lower()}.py")
+        assert main(argv + [fixture]) == 1
+        run = json.loads(capsys.readouterr().out)["runs"][0]
+        rules = {
+            rule["id"]: rule for rule in run["tool"]["driver"]["rules"]
+        }
+        assert expected_rule in rules
+        for rule_id, rule in rules.items():
+            assert rule["help"]["text"] == RULES[rule_id].fixit
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in rules
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(".py")
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+
+
+class TestDeterministicOrder:
+    """Finding order is canonical — (file, line, rule id, column) — and
+    the serialized output is byte-stable across runs."""
+
+    def test_lint_orders_across_files_and_repeats(self, capsys):
+        fixtures = [
+            str(FIXTURES / "fixture_phx002.py"),
+            str(FIXTURES / "fixture_phx001.py"),
+        ]
+        assert main(["lint", "--format", "json"] + fixtures) == 1
+        first = capsys.readouterr().out
+        findings = json.loads(first)["findings"]
+        keys = [
+            (f["path"], f["line"], f["rule_id"], f["col"])
+            for f in findings
+        ]
+        assert keys == sorted(keys)
+        assert len({f["path"] for f in findings}) == 2
+        assert main(["lint", "--format", "json"] + fixtures) == 1
+        assert capsys.readouterr().out == first
+
+    def test_infer_sarif_is_byte_stable(self, capsys):
+        fixture = str(FIXTURES / "fixture_phx010.py")
+        assert main(["infer", "--format", "sarif", fixture]) == 1
+        first = capsys.readouterr().out
+        assert main(["infer", "--format", "sarif", fixture]) == 1
+        assert capsys.readouterr().out == first
+
+
 class TestInfer:
     def test_check_clean_on_the_shipping_apps(self, capsys):
         assert main(["infer", "--check", APPS]) == 0

@@ -140,3 +140,161 @@ class TestForceBounds:
         assert {
             "process", "method", "classes", "ratio_ro_on", "ratio_ro_off"
         } <= set(sample)
+
+
+# ----------------------------------------------------------------------
+# synthetic deployments: loop-nested multi-calls, subordinate
+# co-deployment
+# ----------------------------------------------------------------------
+PAIRFARM = '''
+from repro.core import (
+    PersistentComponent, persistent, subordinate,
+)
+
+
+@persistent
+class Alpha(PersistentComponent):
+    def __init__(self):
+        self.hits = 0
+
+    def poke(self) -> int:
+        self.hits += 1
+        return self.hits
+
+
+@persistent
+class Beta(PersistentComponent):
+    def __init__(self):
+        self.hits = 0
+
+    def poke(self) -> int:
+        self.hits += 1
+        return self.hits
+
+
+@subordinate
+class Memo(PersistentComponent):
+    def __init__(self):
+        self.notes = []
+
+    def jot(self, text: str) -> int:
+        self.notes.append(text)
+        return len(self.notes)
+
+
+@persistent
+class Hub(PersistentComponent):
+    def __init__(self, alpha, beta):
+        self.alpha = alpha
+        self.beta = beta
+        self.memo = None
+
+    def pair(self) -> int:
+        return self.alpha.poke() + self.beta.poke()
+
+    def sweep(self, skus: list) -> int:
+        total = 0
+        for __ in skus:
+            total += self.alpha.poke()
+            total += self.beta.poke()
+        return total
+
+    def note(self, text: str) -> int:
+        if self.memo is None:
+            self.memo = self.new_subordinate(Memo)
+        return self.memo.jot(text)
+
+
+def deploy_pairfarm(runtime):
+    left = runtime.spawn_process("pair-left")
+    right = runtime.spawn_process("pair-right")
+    front = runtime.spawn_process("pair-front")
+    alpha = left.create_component(Alpha)
+    beta = right.create_component(Beta)
+    hub = front.create_component(Hub, args=(alpha, beta))
+    return hub
+'''
+
+
+class TestLoopNestedMultiCalls:
+    """Section 3.5 prices the skip per *straight-line* last call: a
+    multi-call fanned out inside a loop re-forces every iteration and
+    earns no discount."""
+
+    @pytest.fixture(scope="class")
+    def farm_paths(self):
+        model = ProgramModel.from_source(PAIRFARM, "pairfarm.py")
+        return {
+            (entry["entry"], entry["method"]): entry
+            for entry in build_cost_model(model).report()["paths"]
+        }
+
+    def test_straight_line_multicall_earns_the_skip(self, farm_paths):
+        pair = farm_paths[("Hub", "pair")]
+        # entry (2) + two persistent hops (2+2) across two distinct
+        # server processes; one pre-send force skipped under 3.5
+        assert pair["optimized"]["forces"] == 6
+        assert pair["multicall_saved_forces"] == 1
+        assert pair["loop_edges"] == 0
+
+    def test_loop_nested_multicall_earns_nothing(self, farm_paths):
+        sweep = farm_paths[("Hub", "sweep")]
+        # same fan-out, loop-nested: both edges are loop edges, each
+        # iteration re-forces both sends -- no 3.5 skip
+        assert sweep["multicall_saved_forces"] == 0
+        assert sweep["loop_edges"] == 2
+        assert sweep["per_extra_iteration"]["forces"] == 4
+        assert all(edge["in_loop"] for edge in sweep["edges"])
+
+    def test_loop_span_base_cost_matches_straight_line(self, farm_paths):
+        # the base span prices one iteration; extra iterations are the
+        # per_extra_iteration slope (minus pair's multicall discount)
+        assert (
+            farm_paths[("Hub", "sweep")]["optimized"]["forces"]
+            == farm_paths[("Hub", "pair")]["optimized"]["forces"]
+        )
+
+
+class TestSubordinateCoDeployment:
+    """A subordinate lives in its parent's context: the call edge is
+    inlined (no messages, no forces) and placement follows the parent's
+    process."""
+
+    @pytest.fixture(scope="class")
+    def farm_model(self):
+        return ProgramModel.from_source(PAIRFARM, "pairfarm.py")
+
+    def test_subordinate_hop_is_priced_free(self, farm_model):
+        paths = {
+            (entry["entry"], entry["method"]): entry
+            for entry in build_cost_model(farm_model).report()["paths"]
+        }
+        note = paths[("Hub", "note")]
+        # entry cost only: Memo.jot never crosses a process boundary
+        assert note["optimized"]["forces"] == 2
+        assert note["baseline"]["forces"] == 2
+        assert note["edges"] == []
+
+    def test_graph_inherits_the_parent_process(self, farm_model):
+        from repro.analysis.plan import build_graph
+
+        graph, __ = build_graph(farm_model)
+        assert graph.nodes["Memo"].processes == ("pair-front",)
+        assert graph.nodes["Memo"].processes == (
+            graph.nodes["Hub"].processes
+        )
+
+    def test_affinity_edge_is_zero_weight_and_uncuttable(self, farm_model):
+        from repro.analysis.plan import PlanConfig, build_graph, build_plan
+
+        graph, __ = build_graph(farm_model)
+        (affinity,) = graph.affinity_edges()
+        assert (affinity.src, affinity.dst) == ("Hub", "Memo")
+        assert affinity.weight == 0.0
+        assert affinity.subordinate
+        # and the partition honors it even under maximal sharding
+        plan = build_plan(farm_model, PlanConfig(shards=3))
+        placement = {
+            e["name"]: e["shard"] for e in plan.components
+        }
+        assert placement["Memo"] == placement["Hub"]

@@ -252,8 +252,9 @@ class TestEveryInvariantIsCovered:
         # TRC106 (static force bounds) is covered by its own suite,
         # tests/analysis/test_force_bounds.py; TRC107/TRC108 (causal
         # invariants over vector-clocked traces) by
-        # tests/analysis/test_vector_clock.py
+        # tests/analysis/test_vector_clock.py; TRC109 (LogPlan budget
+        # conformance) by tests/analysis/test_plan.py
         assert sorted(INVARIANTS) == [
             "TRC101", "TRC102", "TRC103", "TRC104", "TRC105", "TRC106",
-            "TRC107", "TRC108",
+            "TRC107", "TRC108", "TRC109",
         ]
