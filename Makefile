@@ -1,8 +1,8 @@
 # Convenience targets (everything works offline).
 
 .PHONY: install test bench perf report examples all clean lint infer \
-	check sweep sweep-smoke concurrency explore-smoke explore-nightly \
-	plan plan-write
+	check sweep sweep-smoke concurrency sharded explore-smoke \
+	explore-nightly plan plan-write
 
 install:
 	python setup.py develop
@@ -43,7 +43,7 @@ plan:
 plan-write:
 	PYTHONPATH=src python -m repro.analysis plan --write
 
-check: lint infer plan concurrency explore-smoke
+check: lint infer plan concurrency sharded explore-smoke
 	PYTHONPATH=src python -m pytest -x -q
 
 # Same-seed determinism gate (docs/internals.md section 11): the
@@ -52,6 +52,13 @@ check: lint infer plan concurrency explore-smoke
 # byte-identical across the runs.
 concurrency:
 	PYTHONPATH=src python -m repro.concurrency
+
+# Sharded-logging gate (docs/internals.md section 16): the committed
+# LogPlan executed — the sharded concurrent bookstore run twice must be
+# byte-identical per stream, fan out to real per-shard streams, and
+# return the same replies/state as the flag-off single-log run.
+sharded:
+	PYTHONPATH=src python -m repro.concurrency sharded
 
 # Schedule-space model checker (docs/internals.md section 13).
 # `explore-smoke` is the per-push gate: full DPOR enumeration of the

@@ -156,12 +156,19 @@ def check_plan_trace(
 def check_runtime_plan(
     runtime, plan: LogPlan
 ) -> list[tuple[str, Violation]]:
-    """TRC109 over every process of a runtime."""
+    """TRC109 over every process of a runtime.
+
+    Under sharded logging a process carries one trace per log stream;
+    each is checked independently — a span's records and events all
+    belong to its serving context and therefore to one stream, so spans
+    stay whole per trace and the shard totals accumulate per stream's
+    budget exactly as they did on the single legacy trace.
+    """
+    from ..trace_check import _process_traces
+
     problems: list[tuple[str, Violation]] = []
     for process in runtime.processes():
-        trace = getattr(process, "protocol_trace", None)
-        if trace is None:
-            continue
-        for violation in check_plan_trace(trace, plan, process.name):
-            problems.append((process.name, violation))
+        for trace in _process_traces(process):
+            for violation in check_plan_trace(trace, plan, process.name):
+                problems.append((process.name, violation))
     return problems

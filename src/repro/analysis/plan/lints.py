@@ -104,6 +104,30 @@ def drift_findings(
             "deployed by any apps/*/deploy wiring. Fix: regenerate the "
             "plan (make plan-write)",
         ))
+    # Shard membership lists are serialized separately from the
+    # per-component entries, so a deploy rename (or a hand-edit) can
+    # leave a shard referencing a component name the wiring no longer
+    # defines while every per-component entry looks consistent.  The
+    # router would silently route nothing to that shard's stream for
+    # the stale name — make it a hard drift finding.  Names that are
+    # still in the committed component table are already reported by
+    # the committed-minus-fresh check above.
+    for shard in committed.shards:
+        stale = (
+            set(shard["components"])
+            - set(fresh_by_name)
+            - set(committed_by_name)
+        )
+        for name in sorted(stale):
+            out.append(Finding(
+                plan_path, 1, 0, "PHX016",
+                f"shard {shard['id']} of the committed plan "
+                f"{plan_path} lists component {name}, which no "
+                "apps/*/deploy wiring defines (renamed or removed "
+                "after the plan was committed); sharded logging would "
+                "silently route nothing to its stream. Fix: regenerate "
+                "the plan (make plan-write)",
+            ))
     for name in sorted(set(fresh_by_name) & set(committed_by_name)):
         fresh_entry = fresh_by_name[name]
         committed_entry = committed_by_name[name]

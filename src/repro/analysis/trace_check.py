@@ -670,12 +670,22 @@ def check_runtime_force_bounds(runtime, bounds) -> list[tuple[str, Violation]]:
     """TRC106 over every process of a runtime."""
     problems: list[tuple[str, Violation]] = []
     for process in runtime.processes():
-        trace = getattr(process, "protocol_trace", None)
-        if trace is None:
-            continue
-        for violation in check_force_bounds(trace, bounds, process.name):
-            problems.append((process.name, violation))
+        for trace in _process_traces(process):
+            for violation in check_force_bounds(
+                trace, bounds, process.name
+            ):
+                problems.append((process.name, violation))
     return problems
+
+
+def _process_traces(process) -> list:
+    """Every protocol trace of a process: one per log stream under
+    sharded logging, the single legacy trace otherwise."""
+    streams = getattr(process, "streams", None)
+    if streams is None:
+        trace = getattr(process, "protocol_trace", None)
+        return [] if trace is None else [trace]
+    return [stream.trace for stream in streams]
 
 
 # ----------------------------------------------------------------------
@@ -709,7 +719,15 @@ def check_log(log, trace: ProtocolTrace | None = None) -> list[Violation]:
 
 
 def check_process(process) -> list[Violation]:
-    return check_log(process.log, getattr(process, "protocol_trace", None))
+    streams = getattr(process, "streams", None)
+    if streams is None:
+        return check_log(
+            process.log, getattr(process, "protocol_trace", None)
+        )
+    violations: list[Violation] = []
+    for stream in streams:
+        violations.extend(check_log(stream.log, stream.trace))
+    return violations
 
 
 def check_runtime(runtime) -> list[tuple[str, Violation]]:

@@ -111,6 +111,91 @@ def _pipelined_problems() -> tuple[list[str], int]:
     return problems, len(first.fingerprint)
 
 
+def run_sharded_check() -> int:
+    """The ``make sharded`` gate: sharded logging must change the
+    *artifacts* (one stream per shard) without changing the *answers*.
+
+    1. **Same-seed byte-identity, flag on** — the sharded concurrent
+       bookstore run twice with one seed is byte-identical across all
+       per-stream logs, traces, the clock and the session replies.
+    2. **Stream fan-out is real** — the sharded run's fingerprint keys
+       include the per-shard ``@shard-id`` streams; the flag-off run's
+       keys include none (the legacy single-stream layout is intact).
+    3. **Semantics are routing-independent** — flag on and flag off
+       deliver identical session replies and identical final component
+       state; both pass the full conformance oracle (TRC101-TRC109).
+    """
+    from ..faults.workloads import (
+        run_bookstore_concurrent,
+        run_bookstore_concurrent_sharded,
+    )
+
+    problems: list[str] = []
+    first = run_bookstore_concurrent_sharded()
+    second = run_bookstore_concurrent_sharded()
+
+    if first.replies != second.replies:
+        problems.append(
+            "sharded session replies differ between same-seed runs"
+        )
+    keys = sorted(set(first.determinism) | set(second.determinism))
+    diverged = [
+        key for key in keys
+        if first.determinism.get(key) != second.determinism.get(key)
+    ]
+    if diverged:
+        problems.append(
+            f"sharded fingerprints differ between same-seed runs: "
+            f"{diverged}"
+        )
+        divergence = _first_trace_divergence(first, second)
+        if divergence:
+            problems.append(f"first divergent trace event: {divergence}")
+    for outcome, which in ((first, "first"), (second, "second")):
+        for violation in outcome.violations:
+            problems.append(f"sharded {which} run: {violation}")
+
+    sharded_streams = sorted(
+        key for key in first.determinism if "@" in key
+    )
+    if not sharded_streams:
+        problems.append(
+            "sharded run produced no per-shard streams — the plan did "
+            "not reach the processes"
+        )
+
+    baseline = run_bookstore_concurrent()
+    for violation in baseline.violations:
+        problems.append(f"flag-off run: {violation}")
+    flat_streams = [key for key in baseline.determinism if "@" in key]
+    if flat_streams:
+        problems.append(
+            "flag-off run grew per-shard streams — the legacy layout "
+            f"is no longer intact: {flat_streams}"
+        )
+    if baseline.replies != first.replies:
+        problems.append(
+            "session replies depend on the sharded_logging flag"
+        )
+    if baseline.state != first.state:
+        problems.append(
+            "final component state depends on the sharded_logging flag"
+        )
+
+    if problems:
+        print("sharded logging check: FAIL")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        "sharded logging check: PASS "
+        f"({len(keys)} artifacts byte-identical across two same-seed "
+        f"sharded runs over {len(sharded_streams)} per-shard streams; "
+        "replies and final state identical to the flag-off run)"
+    )
+    return 0
+
+
 def run_determinism_check() -> int:
     from ..faults.workloads import run_bookstore_concurrent
 

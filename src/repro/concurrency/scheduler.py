@@ -236,13 +236,17 @@ class DeterministicScheduler:
     def session_watermarks(self, session: Session) -> dict[str, int]:
         return self._wms.setdefault(session.index, {})
 
-    def note_append(self, process: "AppProcess") -> None:
+    def note_append(self, process: "AppProcess", log=None) -> None:
         """Record that the calling session appended to ``process``'s
-        log: its watermark for that log advances to the post-append end
-        LSN.  ``vector_clock.merge_into`` is a generic pointwise max, so
-        the same helper merges these dicts across sync edges."""
-        name = process.log.process_name
-        end = process.log.end_lsn
+        log (``log`` names the specific stream under sharded logging —
+        watermarks are per-(session, stream) since every stream has its
+        own name): its watermark for that log advances to the
+        post-append end LSN.  ``vector_clock.merge_into`` is a generic
+        pointwise max, so the same helper merges these dicts across
+        sync edges."""
+        log = process.log if log is None else log
+        name = log.process_name
+        end = log.end_lsn
         session = self.current_session()
         wm = (
             self._serial_wm
@@ -252,17 +256,20 @@ class DeterministicScheduler:
         if end > wm.get(name, 0):
             wm[name] = end
 
-    def causal_commit_lsn(self, process: "AppProcess") -> int | None:
-        """The calling session's commit target for ``process``'s log:
-        the highest LSN in its causal prefix.  Everything the session
-        appended or learned of through a sync edge is below it; records
-        of causally unrelated sessions are not — exactly the slack
-        TRC107 permits.  Clamped to ``end_lsn`` (a crash reuses LSNs;
+    def causal_commit_lsn(
+        self, process: "AppProcess", log=None
+    ) -> int | None:
+        """The calling session's commit target for ``process``'s log
+        (``log`` selects the stream under sharded logging): the highest
+        LSN in its causal prefix.  Everything the session appended or
+        learned of through a sync edge is below it; records of causally
+        unrelated sessions are not — exactly the slack TRC107 permits.
+        Clamped to ``end_lsn`` (a crash reuses LSNs;
         :meth:`clamp_watermarks` resets the stored entries too)."""
         session = self.current_session()
         if session is None or not self.active:
             return None
-        log = process.log
+        log = process.log if log is None else log
         name = log.process_name
         target = max(
             self.session_watermarks(session).get(name, 0),
@@ -273,19 +280,28 @@ class DeterministicScheduler:
     def clamp_watermarks(self, process: "AppProcess") -> None:
         """A crash wiped ``process``'s volatile records: every watermark
         entry above the stable boundary points at bytes that no longer
-        exist (and whose LSNs will be reused), so clamp them all.  Also
+        exist (and whose LSNs will be reused), so clamp them all —
+        every stream of the process, each at its own boundary.  Also
         re-run after recovery's tail repair, which can truncate below
         the crash-time boundary."""
-        name = process.log.process_name
-        bound = process.log.stable_lsn
-        for wm in self._wms.values():
-            if wm.get(name, 0) > bound:
-                wm[name] = bound
-        for wm in self._context_wms.values():
-            if wm.get(name, 0) > bound:
-                wm[name] = bound
-        if self._serial_wm.get(name, 0) > bound:
-            self._serial_wm[name] = bound
+        for log in self._process_logs(process):
+            name = log.process_name
+            bound = log.stable_lsn
+            for wm in self._wms.values():
+                if wm.get(name, 0) > bound:
+                    wm[name] = bound
+            for wm in self._context_wms.values():
+                if wm.get(name, 0) > bound:
+                    wm[name] = bound
+            if self._serial_wm.get(name, 0) > bound:
+                self._serial_wm[name] = bound
+
+    @staticmethod
+    def _process_logs(process: "AppProcess"):
+        streams = getattr(process, "streams", None)
+        if streams is None:
+            return [process.log]
+        return [stream.log for stream in streams]
 
     # ------------------------------------------------------------------
     # the main loop
@@ -303,8 +319,9 @@ class DeterministicScheduler:
         # Everything already in any log happens-before every session
         # event (the main thread never overlaps a run).
         self._serial_wm = {
-            process.log.process_name: process.log.end_lsn
+            log.process_name: log.end_lsn
             for process in self.runtime.processes()
+            for log in self._process_logs(process)
         }
         self._step_index = 0
         self.policy.begin_run(self)

@@ -35,6 +35,7 @@ LOG_FORCE = "log.force"
 LOG_SUBMIT = "log.submit"
 NET_REQUEST = "net.request"
 NET_REPLY = "net.reply"
+RECOVERY_SHARD = "recovery.shard"
 
 
 YIELD_TAGS: dict[str, YieldTag] = {
@@ -87,6 +88,13 @@ YIELD_TAGS: dict[str, YieldTag] = {
         YieldTag(
             NET_REPLY,
             "after the receiving process replied, before the caller resumes",
+        ),
+        YieldTag(
+            RECOVERY_SHARD,
+            "between shard drains of a sharded recovery (each shard's "
+            "replay is an independent drain; the boundary between them "
+            "is schedulable)",
+            covers=("recovery.shard.drained",),
         ),
     )
 }

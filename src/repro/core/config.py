@@ -119,6 +119,19 @@ class RuntimeConfig:
     on_demand_recovery: bool = False
     recovery_drain_workers: int = 2
 
+    # Sharded multi-log runtime (extension; ROADMAP item 1, the
+    # executable half of the committed ``plans/apps.logplan.json``): a
+    # process hosts one ``LogManager`` stream per plan shard assigned to
+    # it, a :class:`~repro.log.sharding.ShardRouter` resolves
+    # ``record.context_id -> shard -> stream`` at deploy time (unplanned
+    # components fall back to stream 0, subordinates follow their
+    # parent), forces touch only the stream the decision's causal target
+    # lives on, and recovery replays the shards independently — so
+    # restart time scales with the largest shard, not the whole log.
+    # Off by default: with the flag off a process keeps exactly its one
+    # legacy log and every byte it writes is identical.
+    sharded_logging: bool = False
+
     @classmethod
     def baseline(cls, **overrides: object) -> "RuntimeConfig":
         """The IDEAS 2003 baseline system (Algorithm 1, no checkpoints)."""

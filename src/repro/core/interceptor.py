@@ -252,17 +252,26 @@ class MessageInterceptor:
             )
         reply = entry.reply
         if reply is None:
-            reply = self._read_logged_reply(entry.reply_lsn)
+            reply = self._read_logged_reply(
+                entry.reply_lsn, entry.context_id
+            )
             entry.reply = reply
         return reply
 
-    def _read_logged_reply(self, reply_lsn: int) -> ReplyMessage:
+    def _read_logged_reply(
+        self, reply_lsn: int, context_id: int = NO_LSN
+    ) -> ReplyMessage:
         if reply_lsn == NO_LSN:
             raise InvariantViolationError(
                 "last-call entry has neither an in-memory reply nor a "
                 "reply LSN"
             )
-        record = self._process.log.read_record(reply_lsn)
+        # Reply records live on the serving context's stream (stream 0
+        # when the entry predates stream attribution or the flag is off).
+        log = self._process.log_for(
+            None if context_id == NO_LSN else context_id
+        )
+        record = log.read_record(reply_lsn)
         if isinstance(record, LastCallReplyRecord):
             return record.reply
         if isinstance(record, MessageRecord) and isinstance(

@@ -136,16 +136,28 @@ class LoggingPolicy:
         *causal* watermark: the highest LSN in its happens-before cone.
         TRC107 recomputes that cone independently from the trace's
         vector clocks, so an under-computed watermark here cannot pass
-        unnoticed.  With the flag off this is exactly ``end_lsn``."""
+        unnoticed.  With the flag off this is exactly ``end_lsn`` — of
+        the context's own log stream, which under sharded logging is
+        the only stream the send's causal target can live on."""
         process = context.process
+        log = self._log(context)
         if self.config.pipelined_commit:
             runtime = getattr(process, "runtime", None)
             scheduler = getattr(runtime, "scheduler", None)
             if scheduler is not None and scheduler.active:
-                target = scheduler.causal_commit_lsn(process)
+                target = scheduler.causal_commit_lsn(process, log=log)
                 if target is not None:
                     return target
-        return process.log.end_lsn
+        return log.end_lsn
+
+    @staticmethod
+    def _log(context: "Context"):
+        """The log stream the context's records route to (the legacy
+        ``process.log`` outside sharded logging)."""
+        log_for = getattr(context.process, "log_for", None)
+        if log_for is None:
+            return context.process.log
+        return log_for(context.context_id)
 
     @staticmethod
     def _force_for(context: "Context", decision: LogDecision) -> None:
@@ -154,7 +166,10 @@ class LoggingPolicy:
         :class:`_InterruptedDecision` so the appended record is still
         traced."""
         try:
-            context.process.log_force(commit_lsn=decision.commit_lsn)
+            context.process.log_force(
+                commit_lsn=decision.commit_lsn,
+                context_id=context.context_id,
+            )
         except BaseException as signal:
             raise _InterruptedDecision(decision, signal) from None
 
@@ -181,7 +196,7 @@ class LoggingPolicy:
         executed just before the crash)."""
         decision = exc.decision
         if getattr(exc.signal, "stale", False):
-            trace = getattr(context.process, "protocol_trace", None)
+            trace = self._trace_journal(context)
             mark = None
             if trace is not None:
                 for entry in reversed(trace.entries):
@@ -210,12 +225,12 @@ class LoggingPolicy:
         interrupted: bool = False,
         method: str | None = None,
     ) -> LogDecision:
-        """Journal the decision on the process's protocol trace (pure
-        observation: the conformance checker replays these against the
-        stable stream; see ``repro.analysis``)."""
-        trace = getattr(context.process, "protocol_trace", None)
+        """Journal the decision on the context's stream's protocol
+        trace (pure observation: the conformance checker replays these
+        against the stable stream; see ``repro.analysis``)."""
+        trace = self._trace_journal(context)
         if trace is not None:
-            log = context.process.log
+            log = self._log(context)
             scheduler = getattr(context.process.runtime, "scheduler", None)
             session: int | None = None
             vc: tuple[tuple[int, int], ...] | None = None
@@ -245,6 +260,14 @@ class LoggingPolicy:
                 replaying=context.replaying,
             ))
         return decision
+
+    @staticmethod
+    def _trace_journal(context: "Context"):
+        """The protocol trace paired with the context's log stream."""
+        stream_for = getattr(context.process, "stream_for", None)
+        if stream_for is None:
+            return getattr(context.process, "protocol_trace", None)
+        return stream_for(context.context_id).trace
 
     # ------------------------------------------------------------------
     # message 1: incoming method call (server side)
@@ -367,7 +390,9 @@ class LoggingPolicy:
         # but everything before the send (its causal prefix, under
         # pipelined commit) must be stable.
         commit = self._commit_point(context)
-        forced = context.process.log_force(commit_lsn=commit)
+        forced = context.process.log_force(
+            commit_lsn=commit, context_id=context.context_id
+        )
         return LogDecision(forced=forced, commit_lsn=commit)
 
     # ------------------------------------------------------------------
@@ -438,7 +463,7 @@ class LoggingPolicy:
             if (
                 not first
                 and not repeat
-                and context.process.log.stable_lsn
+                and self._log(context).stable_lsn
                 >= current.forced_watermark
             ):
                 # Section 3.5: the server's last-call table holds the
@@ -451,7 +476,9 @@ class LoggingPolicy:
                 return LogDecision.nothing(), True
             current.forced_once = True
         commit = self._commit_point(context)
-        forced = context.process.log_force(commit_lsn=commit)
+        forced = context.process.log_force(
+            commit_lsn=commit, context_id=context.context_id
+        )
         if current is not None:
             current.forced_watermark = max(current.forced_watermark, commit)
         return LogDecision(forced=forced, commit_lsn=commit), False

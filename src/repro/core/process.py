@@ -27,10 +27,11 @@ from ..errors import (
 from ..faults import plane as faultplane
 from ..log.log_manager import LogManager
 from ..log.records import CreationRecord
+from ..log.sharding import LogStream, ShardRouter
 from .attributes import declared_type, read_only_method_names
 from .component import PersistentComponent
 from .config import RuntimeConfig
-from .context import Context
+from .context import SUB_LID_BASE, Context
 from .last_call import LastCallTable
 from .policy import LoggingPolicy
 from .proxy import ComponentProxy
@@ -161,8 +162,14 @@ class ForceCoalescer:
         """Forget the last write.  Called on crash and on restart: the
         pre-crash write instant must not survive into the recovered
         incarnation, or a same-instant empty force after recovery would
-        be miscounted as coalesced."""
+        be miscounted as coalesced.  The pipelined batch counters are
+        clamped the same way: they count gating decisions taken against
+        watermarks the crash wiped, and the recovered incarnation's
+        history starts empty."""
         self._last_write_at = None
+        stats = self._log.stats
+        stats.pipelined_gated = 0
+        stats.pipelined_write_skips = 0
 
     def _group_scheduler(self):
         process = self.process
@@ -214,6 +221,40 @@ class AppProcess:
         # checker (repro.analysis) replays it against the stable stream.
         self.protocol_trace = ProtocolTrace()
 
+        # Log streams (ROADMAP item 1; docs/internals.md section 16).
+        # Stream 0 IS the legacy log/coalescer/trace — the flag-off
+        # runtime routes every record through the exact objects above.
+        # With ``config.sharded_logging`` on and a committed plan
+        # installed, each plan shard hosted here gets its own stream
+        # (distinct name -> distinct files, watermarks, fault sites) and
+        # records route by their context's planned shard.
+        self.streams: list[LogStream] = [
+            LogStream(
+                None, self.log, self.force_coalescer, self.protocol_trace
+            )
+        ]
+        #: context_id -> stream index; only non-zero assignments stored.
+        #: Rebuilt by recovery from the per-stream scans, so it never
+        #: needs to survive a crash.
+        self._context_stream: dict[int, int] = {}
+        self.shard_router: ShardRouter | None = None
+        if self.config.sharded_logging:
+            plan = runtime.log_plan
+            if plan is not None:
+                self.shard_router = ShardRouter(plan, name)
+                for shard_id in self.shard_router.shard_ids:
+                    log = LogManager(
+                        f"{self.log.process_name}@{shard_id}",
+                        machine.disk,
+                        machine.stable_store,
+                    )
+                    self.streams.append(LogStream(
+                        shard_id,
+                        log,
+                        ForceCoalescer(log, runtime.clock, process=self),
+                        ProtocolTrace(),
+                    ))
+
         self.context_table: dict[int, ContextTableEntry] = {}
         self.component_table: dict[int, ComponentTableEntry] = {}
         self.last_calls = LastCallTable()
@@ -237,24 +278,56 @@ class AppProcess:
         machine.register_process(self)
 
     # ------------------------------------------------------------------
+    # stream routing (docs/internals.md section 16)
+    # ------------------------------------------------------------------
+    def stream_index(self, context_id: int | None) -> int:
+        """The stream a context's records live on.  Unplanned contexts,
+        checkpoint control records (``context_id == -1``) and the whole
+        flag-off runtime resolve to stream 0; subordinate LIDs follow
+        their parent context (the plan's affinity edges never split a
+        context across shards)."""
+        if len(self.streams) == 1 or context_id is None or context_id < 0:
+            return 0
+        if context_id >= SUB_LID_BASE:
+            context_id //= SUB_LID_BASE
+        return self._context_stream.get(context_id, 0)
+
+    def stream_for(self, context_id: int | None) -> LogStream:
+        return self.streams[self.stream_index(context_id)]
+
+    def log_for(self, context_id: int | None) -> LogManager:
+        return self.stream_for(context_id).log
+
+    def assign_stream(self, context_id: int, index: int) -> None:
+        """Pin a context to a stream (creation and recovery both call
+        this; the assignment is stable for the context's lifetime)."""
+        if index:
+            self._context_stream[context_id] = index
+
+    # ------------------------------------------------------------------
     # log access with cost accounting
     # ------------------------------------------------------------------
     def log_append(self, record) -> int:
+        stream = self.stream_for(getattr(record, "context_id", None))
         # Yield BEFORE the append: once a record is buffered, the next
         # force must pair with it without another session in between.
         self.runtime.sched_yield(f"log.append:{self.name}")
         self.runtime.clock.advance(self.runtime.costs.log_buffer_write)
-        lsn = self.log.append(record)  # phx: disable=PHX005
+        lsn = stream.log.append(record)  # phx: disable=PHX005
         scheduler = getattr(self.runtime, "scheduler", None)
         if scheduler is not None and scheduler.active:
             # Advance the appending session's durability watermark
             # (pipelined causal commit; pure bookkeeping otherwise).
-            scheduler.note_append(self)
+            scheduler.note_append(self, log=stream.log)
         self._maybe_publish_checkpoint()
         return lsn
 
-    def log_force(self, commit_lsn: int | None = None) -> bool:
-        wrote = self.force_coalescer.force(commit_lsn)
+    def log_force(
+        self,
+        commit_lsn: int | None = None,
+        context_id: int | None = None,
+    ) -> bool:
+        wrote = self.stream_for(context_id).coalescer.force(commit_lsn)
         self._maybe_publish_checkpoint()
         # Yield AFTER the force (a durability boundary has completed).
         self.runtime.sched_yield(f"log.force:{self.name}")
@@ -324,6 +397,10 @@ class AppProcess:
         lid = self._next_component_lid
         self._next_component_lid += 1
         uri = component_uri(self.machine.name, self.name, lid)
+        if self.shard_router is not None:
+            self.assign_stream(
+                lid, self.shard_router.stream_for_class(cls.__name__)
+            )
         if ctype.is_phoenix:
             # feed the static type directory (consulted only when
             # config.static_type_seeding is on; see RuntimeConfig)
@@ -355,7 +432,7 @@ class AppProcess:
                 registered_name=class_name,
             )
             entry.creation_lsn = self.log_append(record)
-            self.log_force()
+            self.log_force(context_id=lid)
             self._construct(context, cls, args, lid, ctype)
         else:
             self.instantiate_in_context(context, cls, args, lid, ctype)
@@ -509,37 +586,60 @@ class AppProcess:
     # ------------------------------------------------------------------
     # log garbage collection (extension — see CheckpointConfig)
     # ------------------------------------------------------------------
-    def log_truncation_point(self) -> int:
-        """The highest LSN below which no recovery can ever read.
+    def log_truncation_point(self, stream: int = 0) -> int:
+        """The highest LSN below which no recovery can ever read from
+        one stream.
 
-        Recovery needs: the published checkpoint onward, each context's
+        Recovery needs: the published checkpoint onward (stream 0 holds
+        the checkpoint control records), each of the stream's contexts'
         recovery-start record (latest state record, else creation
         record), and every reply record the last-call table still
         points at.
         """
         candidates: list[int] = []
-        published = self.log.read_well_known_lsn()
+        published = self.streams[stream].log.read_well_known_lsn()
         if published is not None:
             candidates.append(published)
         for entry in self.context_table.values():
+            if self.stream_index(entry.context_id) != stream:
+                continue
             start = entry.recovery_start_lsn
             if start != NO_LSN:
                 candidates.append(start)
         for __, last_call in self.last_calls.all_entries():
-            if last_call.reply_lsn != NO_LSN:
-                candidates.append(last_call.reply_lsn)
+            if last_call.reply_lsn == NO_LSN:
+                continue
+            # The reply record lives on the serving context's stream;
+            # entries recovery created without a context id (NO_LSN)
+            # floor every stream — conservative, never unsafe.
+            if (
+                last_call.context_id != NO_LSN
+                and self.stream_index(last_call.context_id) != stream
+            ):
+                continue
+            candidates.append(last_call.reply_lsn)
         if self.pending_recovery is not None:
             # Frame chains still owed to on-demand replay.  (Their
             # contexts' recovery-start LSNs cover them already; keep
             # the invariant explicit.)
-            candidates.extend(self.pending_recovery.start_lsns())
+            candidates.extend(self.pending_recovery.start_lsns(stream))
         if not candidates:
-            return self.log.base_lsn
+            return self.streams[stream].log.base_lsn
         return min(candidates)
 
     def collect_log_garbage(self) -> int:
-        """Reclaim the dead log prefix; returns bytes reclaimed."""
-        return self.log.truncate_prefix(self.log_truncation_point())
+        """Reclaim each stream's dead log prefix; returns bytes
+        reclaimed."""
+        reclaimed = self.log.truncate_prefix(self.log_truncation_point())
+        for index, stream in enumerate(self.streams[1:], start=1):
+            point = self.log_truncation_point(index)
+            # Publish the stream's own scan anchor before dropping the
+            # prefix: recovery pass 1 starts each stream at its
+            # well-known LSN, which must never sit below truncated
+            # bytes.
+            stream.log.write_well_known_lsn(point)
+            reclaimed += stream.log.truncate_prefix(point)
+        return reclaimed
 
     # ------------------------------------------------------------------
     # failure & restart
@@ -550,11 +650,12 @@ class AppProcess:
             return
         self.state = ProcessState.CRASHED
         self.crash_count += 1
-        self.log.wipe_volatile()
-        self.force_coalescer.reset()
-        # Volatile records above the stable boundary are gone and their
-        # LSNs will be reused; tell the conformance trace.
-        self.protocol_trace.note_crash(self.log.stable_lsn)
+        for stream in self.streams:
+            stream.log.wipe_volatile()
+            stream.coalescer.reset()
+            # Volatile records above the stable boundary are gone and
+            # their LSNs will be reused; tell the conformance trace.
+            stream.trace.note_crash(stream.log.stable_lsn)
         # Per-session durability watermarks are volatile too: entries
         # above the stable boundary point at wiped bytes whose LSNs the
         # next incarnation will reuse.
@@ -569,12 +670,15 @@ class AppProcess:
         self.remote_types = RemoteComponentTypeTable()
         self._pending_checkpoint = None
         self.pending_recovery = None
+        self._context_stream = {}
         self.machine.recovery_service.on_crash(self)
 
     def begin_restart(self) -> None:
         """Fresh volatile structures before recovery repopulates them."""
         self.state = ProcessState.RECOVERING
-        self.force_coalescer.reset()
+        for stream in self.streams:
+            stream.coalescer.reset()
+        self._context_stream = {}
         self.context_table = {}
         self.component_table = {}
         self.last_calls = LastCallTable()

@@ -81,6 +81,14 @@ class PhoenixRuntime:
         #: without it, keeping the serial runtime byte-identical.
         self.scheduler = None
 
+        # The LogPlan the sharded runtime routes by (repro.log.sharding).
+        # ``install_log_plan`` pins one explicitly (benches and tests
+        # build synthetic plans); otherwise the first committed plan is
+        # resolved lazily when the first process spawns with
+        # ``config.sharded_logging`` on.
+        self._log_plan: object | None = None
+        self._log_plan_resolved = False
+
         #: uri -> (component type, read-only method names) for every
         #: deployed Phoenix component.  Populated unconditionally at
         #: creation (no clock charge, no log writes); consulted by the
@@ -106,6 +114,24 @@ class PhoenixRuntime:
     # ------------------------------------------------------------------
     # deployment
     # ------------------------------------------------------------------
+    @property
+    def log_plan(self):
+        if self._log_plan is None and not self._log_plan_resolved:
+            self._log_plan_resolved = True
+            if self.config.sharded_logging:
+                from ..analysis.plan.planner import committed_plans
+
+                plans = committed_plans()
+                if plans:
+                    self._log_plan = plans[0]
+        return self._log_plan
+
+    def install_log_plan(self, plan) -> None:
+        """Pin the plan the sharded runtime routes by.  Call before
+        spawning processes — a process builds its streams at spawn."""
+        self._log_plan = plan
+        self._log_plan_resolved = True
+
     def spawn_process(self, name: str, machine: str = "alpha") -> AppProcess:
         host = self.cluster.machine(machine)
         if host.has_process(name):
@@ -582,8 +608,9 @@ class PhoenixRuntime:
     def stats(self) -> RuntimeStats:
         totals = RuntimeStats()
         for process in self._processes.values():
-            totals.log_forces += process.log.stats.forces_performed
-            totals.log_appends += process.log.stats.appends
+            for stream in process.streams:
+                totals.log_forces += stream.log.stats.forces_performed
+                totals.log_appends += stream.log.stats.appends
             totals.crashes += process.crash_count
             totals.recoveries += process.recovery_count
         for machine in self.cluster.machines():
@@ -608,12 +635,16 @@ class PhoenixRuntime:
                 f"busy={disk.busy_ms:.0f}ms"
             )
             for process in machine.processes():
-                log = process.log.stats
+                streams = process.streams
+                forces = sum(
+                    s.log.stats.forces_performed for s in streams
+                )
+                appends = sum(s.log.stats.appends for s in streams)
                 lines.append(
                     f"    process {process.name} [{process.state.value}] "
                     f"pid={process.logical_pid}: "
-                    f"forces={log.forces_performed}, "
-                    f"appends={log.appends}, "
+                    f"forces={forces}, "
+                    f"appends={appends}, "
                     f"crashes={process.crash_count}, "
                     f"recoveries={process.recovery_count}"
                 )

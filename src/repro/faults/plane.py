@@ -107,10 +107,18 @@ class FaultPlane:
         if process_name is None or self._runtime is None:
             return None
         for process in self._runtime.processes():
-            if (
-                process.name == process_name
-                or process.log.process_name == process_name
+            if process.name == process_name:
+                return process
+            streams = getattr(process, "streams", None)
+            if streams is None:
+                if process.log.process_name == process_name:
+                    return process
+            elif any(
+                stream.log.process_name == process_name
+                for stream in streams
             ):
+                # Sharded logging: each extra stream's machine-qualified
+                # name (``…@shard``) is its own fault-site namespace.
                 return process
         return None
 

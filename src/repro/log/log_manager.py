@@ -298,12 +298,13 @@ class LogManager:
         self._buffer.clear()
         self._pending_entries.clear()
         self._buffer_start_lsn = self._base_lsn + self._stable.size
-        # The per-component chains live in process memory: the crash
-        # takes them too.  Recovery re-anchors them at the checkpoint
-        # with one bounded tail scan.
-        self._comp_lsns = {}
+        # The per-component chains reference only *stable* LSNs, so the
+        # crash cannot invalidate them; only the buffered entries (whose
+        # records just evaporated) are dropped.  Keeping the chains is
+        # what lets recovery after a clean-buffer crash serve
+        # component_chains() as an index hit instead of a full-tail
+        # rebuild.
         self._comp_pending.clear()
-        self._comp_from_lsn = self._comp_upto_lsn = self._buffer_start_lsn
         return lost
 
     # ------------------------------------------------------------------
@@ -419,12 +420,22 @@ class LogManager:
         self._index_stale_block = None
         if torn:
             self._buffer_start_lsn = self._base_lsn + last_good
-        # Chains may reference the torn region; reset them so the next
-        # component_chains call re-anchors with one bounded scan.
-        self._comp_lsns = {}
-        self._comp_pending.clear()
+        # A torn tail invalidates only the chains that reference it:
+        # prune each chain at the repaired boundary instead of wiping
+        # the whole index, so components untouched by the torn frame
+        # keep their chains and the next component_chains call is an
+        # index hit, not a full-tail rebuild.
         end_lsn = self._base_lsn + last_good
-        self._comp_from_lsn = self._comp_upto_lsn = end_lsn
+        for cid in list(self._comp_lsns):
+            chain = self._comp_lsns[cid]
+            cut = bisect_left(chain, end_lsn)
+            if cut < len(chain):
+                del chain[cut:]
+            if not chain:
+                del self._comp_lsns[cid]
+        self._comp_pending.clear()
+        self._comp_from_lsn = min(self._comp_from_lsn, end_lsn)
+        self._comp_upto_lsn = min(self._comp_upto_lsn, end_lsn)
         return end_lsn
 
     def scan(self, from_lsn: int = 0) -> Iterator[tuple[int, LogRecord]]:

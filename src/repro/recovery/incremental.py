@@ -114,15 +114,24 @@ class PendingRecovery:
     ):
         self.process: "AppProcess" = manager.process
         self.runtime = manager.runtime
-        self.reply_watermark = manager._reply_watermark
+        self.reply_watermarks = dict(manager._reply_watermarks)
         self.marks: dict[int, ComponentWatermark] = {}
         if not discoveries:
             return
-        start = min(info.start_lsn for info in discoveries.values())
-        chains = self.process.log.component_chains(start)
+        # Each component's frame chain comes from its owning stream's
+        # per-component index (one stream under the flag-off runtime);
+        # LSN spaces are per stream, so the scan window is too.
+        starts: dict[int, int] = {}
+        for info in discoveries.values():
+            start = starts.get(info.stream, info.start_lsn)
+            starts[info.stream] = min(start, info.start_lsn)
+        chains_by_stream = {
+            stream: self.process.streams[stream].log.component_chains(start)
+            for stream, start in starts.items()
+        }
         for info in discoveries.values():
             restored = info.state is not None
-            chain = chains.get(info.context_id, [])
+            chain = chains_by_stream[info.stream].get(info.context_id, [])
             if restored:
                 tail = [lsn for lsn in chain if lsn > info.state_lsn]
             else:
@@ -153,13 +162,16 @@ class PendingRecovery:
         mark = self.marks.get(context_id)
         return NO_LSN if mark is None else mark.applied_lsn
 
-    def start_lsns(self) -> list[int]:
-        """Every not-yet-applied chain head — log truncation must never
-        reclaim these."""
+    def start_lsns(self, stream: int = 0) -> list[int]:
+        """Every not-yet-applied chain head on ``stream`` — log
+        truncation must never reclaim these."""
+        stream_index = self.process.stream_index
         return [
             m.chain[0]
             for m in self.marks.values()
-            if m.status != RECOVERED and m.chain
+            if m.status != RECOVERED
+            and m.chain
+            and stream_index(m.context_id) == stream
         ]
 
     def _scheduler(self):
@@ -225,10 +237,14 @@ class PendingRecovery:
         mark.status = REPLAYING
         mark.owner = self._current_owner_key()
         faultplane.site_hit(f"recovery.lazy_replay.before:{name}", name)
+        log = process.log_for(context_id)
+        reply_floor = self.reply_watermarks.get(
+            process.stream_index(context_id), NO_LSN
+        )
         manager = RecoveryManager(process)
-        manager._reply_watermark = self.reply_watermark
+        manager._reply_watermarks = self.reply_watermarks
         for lsn in mark.chain:
-            record = process.log.read_record(lsn)
+            record = log.read_record(lsn)
             if isinstance(record, _SKIP_KINDS):
                 continue
             if isinstance(record, CreationRecord):
@@ -238,10 +254,7 @@ class PendingRecovery:
                     order=manager._next_order(), creation=record
                 )
             elif isinstance(record, LastCallReplyRecord):
-                if (
-                    self.reply_watermark != NO_LSN
-                    and lsn <= self.reply_watermark
-                ):
+                if reply_floor != NO_LSN and lsn <= reply_floor:
                     continue  # the checkpoint's table already covers it
                 process.last_calls.seed(
                     record.caller_key,
@@ -256,7 +269,7 @@ class PendingRecovery:
         # Replay effects (regenerated records of live-continued calls)
         # become stable before the component is declared recovered —
         # the per-component equivalent of eager recovery's final force.
-        process.log.force()
+        log.force()
         faultplane.site_hit(f"recovery.lazy_replay.after:{name}", name)
         mark.applied_lsn = mark.chain[-1] if mark.chain else mark.state_lsn
         mark.status = RECOVERED
@@ -336,6 +349,68 @@ class PendingRecovery:
             scheduler.spawn(
                 self._drain_worker, name=f"drain-{self.process.name}"
             )
+
+    def spawn_shard_workers(self) -> None:
+        """Sharded eager recovery: one drain session per shard.
+
+        Each worker claims exactly its shard's components through the
+        watermark table, so the shards replay as independent parallel
+        drains and lazy first-touch admission covers the window until
+        the last drain retires the table."""
+        scheduler = self._scheduler()
+        if scheduler is None or scheduler.current_session() is None:
+            return
+        process = self.process
+        groups: dict[int, list[int]] = {}
+        for context_id in self.marks:
+            if self.marks[context_id].status == RECOVERED:
+                continue
+            groups.setdefault(
+                process.stream_index(context_id), []
+            ).append(context_id)
+        for stream in sorted(groups):
+            members = sorted(groups[stream])
+            scheduler.spawn(
+                lambda s=stream, m=members: self._drain_shard_worker(s, m),
+                name=f"shard-drain-{process.streams[stream].name}",
+            )
+
+    def _drain_shard_worker(
+        self, stream: int, members: list[int]
+    ) -> None:
+        process = self.process
+        name = process.name
+        # Hold a process frame for the whole drain: a replay's
+        # live-continued call can park this session inside the process
+        # with no boundary frame of its own, and a second crash while
+        # parked must ghost the worker (stale CrashSignal on resume)
+        # instead of letting it keep executing against the dead
+        # incarnation's retired table.  The trailing shard-drained site
+        # is a crash site too, so the whole drain shares one
+        # CrashSignal boundary.
+        scheduler = self._scheduler()
+        pushed = scheduler is not None and scheduler.enter_process(process)
+        try:
+            for context_id in members:
+                if process.pending_recovery is not self:
+                    return
+                mark = self.marks.get(context_id)
+                if mark is None or mark.status != PENDING:
+                    continue
+                faultplane.site_hit(f"recovery.drain_worker:{name}", name)
+                self._replay_component(mark)
+                self.runtime.sched_yield(f"recovery.shard:{name}")
+            faultplane.site_hit(
+                f"recovery.shard.drained:{process.streams[stream].name}",
+                name,
+            )
+        except CrashSignal as signal:
+            target = getattr(signal, "process", None)
+            if target is not None and not getattr(signal, "stale", False):
+                target.crash()
+        finally:
+            if pushed:
+                scheduler.exit_process()
 
     def _drain_worker(self) -> None:
         process = self.process

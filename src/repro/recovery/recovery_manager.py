@@ -64,6 +64,10 @@ class _ContextDiscovery:
     creation: CreationRecord | None = None
     state_lsn: int = NO_LSN
     state: ContextStateRecord | None = None
+    #: The stream index whose scan found this context's records (0 for
+    #: the legacy log; sharded logging keeps each context's records on
+    #: exactly one stream, so the discovery rebuilds the routing table).
+    stream: int = 0
 
     @property
     def start_lsn(self) -> int:
@@ -89,12 +93,18 @@ class RecoveryManager:
         self.runtime = process.runtime
         self._pending: dict[int, _Pending] = {}
         self._order = 0
-        # The published checkpoint LSN (pass 1's scan start).  Reply
-        # records at or below it are already covered by the checkpoint's
-        # last-call table record, so pass 2 rebuilds the reply cache
-        # only from the suffix past this watermark — on recover-twice
-        # (crash during recovery) the whole-tail re-decode is gone.
-        self._reply_watermark = NO_LSN
+        # Per-stream reply watermarks (pass 1's scan starts).  Reply
+        # records at or below a stream's watermark are already covered
+        # by the checkpoint's last-call table record, so pass 2 rebuilds
+        # the reply cache only from the suffix past it — on
+        # recover-twice (crash during recovery) the whole-tail re-decode
+        # is gone.  Stream 0's watermark is the published checkpoint
+        # LSN; extra streams default to NO_LSN (their scans start at
+        # their own truncation point, so re-seeding is already bounded).
+        self._reply_watermarks: dict[int, int] = {}
+
+    def _reply_floor(self, stream: int) -> int:
+        return self._reply_watermarks.get(stream, NO_LSN)
 
     # ------------------------------------------------------------------
     # top level
@@ -104,13 +114,14 @@ class RecoveryManager:
         runtime = self.runtime
         name = process.name
         runtime.clock.advance(runtime.costs.runtime_init)
-        repaired = process.log.repair_tail()
-        # A torn write leaves partial frame bytes in the stable file, so
-        # the crash mark taken at crash time (from the raw file size)
-        # can sit past what repair just kept.  Re-mark at the repaired
-        # boundary: records in the torn region are gone and their LSNs
-        # will be reused.
-        process.protocol_trace.note_crash(repaired)
+        for stream in process.streams:
+            repaired = stream.log.repair_tail()
+            # A torn write leaves partial frame bytes in the stable
+            # file, so the crash mark taken at crash time (from the raw
+            # file size) can sit past what repair just kept.  Re-mark at
+            # the repaired boundary: records in the torn region are gone
+            # and their LSNs will be reused.
+            stream.trace.note_crash(repaired)
         # Durability watermarks (pipelined commit) are volatile state:
         # repair may have truncated torn frames below the crash-time
         # stable LSN, so clamp every session's watermark for this log to
@@ -134,6 +145,13 @@ class RecoveryManager:
                 # Analysis is done: admit new calls now and replay each
                 # component lazily / in the background (incremental.py).
                 self._admit_on_demand(discoveries)
+            elif len(process.streams) > 1:
+                # Sharded eager recovery: each stream's shard replays as
+                # an independent drain (parallel sessions under the
+                # scheduler, per-shard clock lanes in the serial
+                # runtime), so recovery time scales with the largest
+                # shard instead of the whole log.
+                self._recover_shards(discoveries)
             else:
                 self._pass_two(discoveries)
                 faultplane.site_hit(f"recovery.pass2:{name}", name)
@@ -172,15 +190,112 @@ class RecoveryManager:
             pending.spawn_workers()
 
     # ------------------------------------------------------------------
+    # sharded eager recovery (config.sharded_logging)
+    # ------------------------------------------------------------------
+    def _recover_shards(
+        self, discoveries: dict[int, _ContextDiscovery]
+    ) -> None:
+        """Replay each stream's shard as an independent drain.
+
+        Replay rides on-demand recovery's per-component watermark table
+        (each component's frame chain comes from its owning stream), so
+        the two extensions compose.  Under the deterministic scheduler
+        one drain session is spawned per shard and admission control
+        covers the window until the last drain retires the table; in the
+        serial runtime each shard replays as its own clock *lane* from
+        the recovery start time and the clock then advances to the
+        longest lane — recovery time scales with the largest shard.
+        """
+        from .incremental import PendingRecovery
+
+        process = self.process
+        name = process.name
+        for info in sorted(discoveries.values(), key=lambda d: d.context_id):
+            if info.state is None:
+                self._register_context(info)
+        pending = PendingRecovery(self, discoveries)
+        faultplane.site_hit(f"recovery.pass2:{name}", name)
+        scheduler = getattr(self.runtime, "scheduler", None)
+        if (
+            scheduler is not None
+            and scheduler.active
+            and scheduler.current_session() is not None
+        ):
+            if pending.pending_count():
+                process.pending_recovery = pending
+                pending.spawn_shard_workers()
+            return
+        self._drain_shard_lanes(pending, discoveries)
+        faultplane.site_hit(f"recovery.drained:{name}", name)
+        for stream in process.streams:
+            stream.log.force()
+        faultplane.site_hit(f"recovery.done:{name}", name)
+
+    def _drain_shard_lanes(
+        self,
+        pending,
+        discoveries: dict[int, _ContextDiscovery],
+    ) -> None:
+        """Serial-runtime shard drains: one clock lane per stream."""
+        from .incremental import PENDING as PENDING_MARK
+
+        process = self.process
+        runtime = self.runtime
+        name = process.name
+        groups: dict[int, list[int]] = {}
+        for info in discoveries.values():
+            groups.setdefault(info.stream, []).append(info.context_id)
+        clock = runtime.clock
+        base = clock.now
+        lanes: list[float] = []
+        for index in sorted(groups):
+            clock.rewind_to(base)
+            for context_id in sorted(groups[index]):
+                mark = pending.marks.get(context_id)
+                if mark is not None and mark.status == PENDING_MARK:
+                    pending._replay_component(mark)
+            stream = process.streams[index]
+            stream.log.force()
+            lanes.append(clock.now - base)
+            faultplane.site_hit(
+                f"recovery.shard.drained:{stream.name}", name
+            )
+            runtime.sched_yield(f"recovery.shard:{name}")
+        clock.rewind_to(base)
+        if lanes:
+            clock.advance(max(lanes))
+
+    # ------------------------------------------------------------------
     # pass 1
     # ------------------------------------------------------------------
     def _pass_one(self) -> dict[int, _ContextDiscovery]:
         process = self.process
-        log = process.log
+        discoveries: dict[int, _ContextDiscovery] = {}
+        for index in range(len(process.streams)):
+            self._scan_stream(index, discoveries)
+        # The crash wiped the in-memory routing table; the discoveries
+        # rebuild it — every context maps back to the stream its records
+        # were found on, so replay appends route exactly as the original
+        # run did.
+        for info in discoveries.values():
+            process.assign_stream(info.context_id, info.stream)
+        self._materialize_pointers(discoveries)
+        return discoveries
+
+    def _scan_stream(
+        self, index: int, discoveries: dict[int, _ContextDiscovery]
+    ) -> None:
+        process = self.process
+        log = process.streams[index].log
         published = log.read_well_known_lsn()
         start = published or 0
-        self._reply_watermark = NO_LSN if published is None else published
-        discoveries: dict[int, _ContextDiscovery] = {}
+        if index == 0:
+            # Stream 0's well-known LSN is the published checkpoint;
+            # extra streams publish their truncation point instead (the
+            # scan anchor), which covers no last-call entries.
+            self._reply_watermarks[0] = (
+                NO_LSN if published is None else published
+            )
 
         def discovery(context_id: int) -> _ContextDiscovery:
             if context_id not in discoveries:
@@ -190,10 +305,12 @@ class RecoveryManager:
         for lsn, record in log.scan(start):
             if isinstance(record, CreationRecord):
                 info = discovery(record.context_id)
+                info.stream = index
                 info.creation_lsn = lsn
                 info.creation = record
             elif isinstance(record, ContextStateRecord):
                 info = discovery(record.context_id)
+                info.stream = index
                 if lsn > info.state_lsn:
                     info.state_lsn = lsn
                     info.state = record
@@ -219,11 +336,19 @@ class RecoveryManager:
             # Message, last-call-reply and begin/end checkpoint records
             # are pass-2 material.
 
+    def _materialize_pointers(
+        self, discoveries: dict[int, _ContextDiscovery]
+    ) -> None:
         # Materialize records the checkpoint only pointed at.  A context
         # with a state record does not need its creation record — the
         # state record carries identity and class information — which is
         # what lets log garbage collection reclaim old creation records.
+        # Pointer LSNs live in the owning stream's LSN space; every
+        # pointed-at record survives truncation (the truncation point
+        # never passes a recovery-start LSN), so the owning stream's own
+        # scan has already assigned ``info.stream``.
         for info in discoveries.values():
+            log = self.process.streams[info.stream].log
             if info.state_lsn != NO_LSN and info.state is None:
                 record = log.read_record(info.state_lsn)
                 if not isinstance(record, ContextStateRecord):
@@ -244,7 +369,6 @@ class RecoveryManager:
                         f"LSN {info.creation_lsn} is not a creation record"
                     )
                 info.creation = record
-        return discoveries
 
     # ------------------------------------------------------------------
     # restore contexts that have state records
@@ -335,10 +459,8 @@ class RecoveryManager:
                     order=self._next_order(), creation=record
                 )
             elif isinstance(record, LastCallReplyRecord):
-                if (
-                    self._reply_watermark != NO_LSN
-                    and lsn <= self._reply_watermark
-                ):
+                floor = self._reply_floor(0)
+                if floor != NO_LSN and lsn <= floor:
                     # Below the published checkpoint the checkpoint's
                     # own last-call record (pass 1) or a state-record
                     # restore already installed this entry with its
@@ -549,8 +671,9 @@ def recover_context(context: Context) -> None:
 
     pending: _Pending | None = None
     restored = False
+    log = process.log_for(context.context_id)
     if entry.state_record_lsn != NO_LSN:
-        record = process.log.read_record(entry.state_record_lsn)
+        record = log.read_record(entry.state_record_lsn)
         if not isinstance(record, ContextStateRecord):
             raise RecoveryError(
                 f"LSN {entry.state_record_lsn} is not a state record"
@@ -560,7 +683,7 @@ def recover_context(context: Context) -> None:
         restored = True
 
     manager = RecoveryManager(process)
-    for lsn, record in process.log.scan(start):
+    for lsn, record in log.scan(start):
         if record.context_id != context.context_id:
             continue
         if restored and lsn <= entry.state_record_lsn:
@@ -573,4 +696,4 @@ def recover_context(context: Context) -> None:
             manager._scan_message(context.context_id, lsn, record)
     context.crashed = False
     manager.drain_context(context.context_id)
-    process.log.force()
+    log.force()

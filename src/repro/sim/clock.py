@@ -49,6 +49,24 @@ class SimClock:
             self._now = when_ms
         return self._now
 
+    def rewind_to(self, when_ms: float) -> float:
+        """Reset the clock to an earlier absolute time.
+
+        Reserved for measurement harnesses that replay alternative
+        timelines from a common base — sharded recovery runs each
+        shard's replay as its own *lane* from the recovery start time
+        and then advances to the longest lane, so serial recovery time
+        models the shards draining in parallel.  Runtime code must
+        never call this; time as observed by the runtime only moves
+        forward.
+        """
+        if when_ms > self._now:
+            raise InvariantViolationError(
+                f"rewind_to({when_ms}) is in the future (now={self._now})"
+            )
+        self._now = float(when_ms)
+        return self._now
+
     def sleep_until(self, when_ms: float) -> float:
         """Park until the absolute time ``when_ms`` (a past wakeup is a
         no-op, like :meth:`advance_to`).

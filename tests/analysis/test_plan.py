@@ -277,6 +277,26 @@ class TestPHX016:
             messages
         )
 
+    def test_stale_shard_reference_after_rename(self, plan):
+        """A deploy rename that only desyncs a shard's membership list
+        (the per-component entries all look consistent) must still be a
+        hard drift finding — the sharded router would otherwise
+        silently route nothing to the stale name's stream."""
+        tampered = load_plan(PLAN_PATH)
+        shard = tampered.shards[0]
+        renamed = shard["components"][0]
+        shard["components"][0] = f"{renamed}Legacy"
+        # Keep the component table consistent with the wiring: only the
+        # shard list carries the stale name.
+        findings = drift_findings(plan, tampered, str(PLAN_PATH))
+        assert [f.rule_id for f in findings] == ["PHX016"]
+        message = findings[0].message
+        assert f"shard {shard['id']}" in message
+        assert f"component {renamed}Legacy" in message
+        assert "silently route nothing" in message
+        assert "Fix: regenerate the plan (make plan-write)" in message
+        assert findings[0].path == str(PLAN_PATH)
+
     def test_fresh_plan_has_no_drift(self, plan, committed):
         assert drift_findings(plan, committed, str(PLAN_PATH)) == []
 

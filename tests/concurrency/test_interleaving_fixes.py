@@ -124,7 +124,9 @@ class TestMulticallWatermark:
         log = SimpleNamespace(stable_lsn=stable_lsn, end_lsn=stable_lsn)
         process = SimpleNamespace(
             log=log,
-            log_force=lambda commit_lsn=None: forces.append(1) or True,
+            log_force=lambda commit_lsn=None, context_id=None: (
+                forces.append(1) or True
+            ),
         )
         current = CurrentCall(message=None)
         current.forced_once = True
@@ -132,6 +134,7 @@ class TestMulticallWatermark:
         current.forced_watermark = watermark
         context = SimpleNamespace(
             process=process,
+            context_id=1,
             current_call=current,
             component_type=ComponentType.PERSISTENT,
         )

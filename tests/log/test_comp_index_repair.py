@@ -1,0 +1,94 @@
+"""The per-component chain index across crashes and torn tails.
+
+Regression: ``wipe_volatile`` / ``repair_tail`` used to throw away the
+whole volatile ``_comp_lsns`` index, so the next ``component_chains``
+call paid a full bounded tail scan (``comp_index_rebuilds``) even when
+the crash lost nothing stable — or when the torn frame belonged to ONE
+component.  The chains only ever reference stable LSNs, so a crash
+cannot invalidate them, and a torn tail invalidates exactly the chain
+entries at or past the repaired boundary.
+"""
+
+import pytest
+
+from repro.common import MessageKind, MethodCallMessage
+from repro.log import LogManager, MessageRecord
+from repro.sim import Cluster
+
+
+def record(cid: int, n: object) -> MessageRecord:
+    return MessageRecord(
+        context_id=cid,
+        kind=MessageKind.INCOMING_CALL,
+        message=MethodCallMessage(
+            target_uri=f"phoenix://alpha/p/{cid}", method="m", args=(n,)
+        ),
+    )
+
+
+@pytest.fixture
+def machine():
+    return Cluster().machine("alpha")
+
+
+@pytest.fixture
+def log(machine):
+    return LogManager("p1", machine.disk, machine.stable_store)
+
+
+class TestWipeVolatileKeepsChains:
+    def test_crash_does_not_force_a_rebuild(self, log):
+        lsns = {
+            1: [log.append_and_force(record(1, i)) for i in range(3)],
+            2: [log.append_and_force(record(2, i)) for i in range(2)],
+        }
+        assert log.component_chains(0) == lsns
+        rebuilds = log.stats.comp_index_rebuilds
+        hits = log.stats.comp_index_hits
+
+        log.wipe_volatile()
+        # The chains reference only stable LSNs; nothing stable changed.
+        assert log.component_chains(0) == lsns
+        assert log.stats.comp_index_rebuilds == rebuilds
+        assert log.stats.comp_index_hits == hits + 1
+
+    def test_buffered_records_still_die_with_the_process(self, log):
+        stable_lsn = log.append_and_force(record(1, "stable"))
+        log.append(record(2, "lost"))  # buffered, dies with the crash
+        log.wipe_volatile()
+        chains = log.component_chains(0)
+        assert chains == {1: [stable_lsn]}
+        assert 2 not in chains
+
+
+class TestRepairTailPrunesPerChain:
+    def test_torn_frame_prunes_only_its_component(self, log):
+        kept = [log.append_and_force(record(1, i)) for i in range(3)]
+        torn = log.append_and_force(record(2, "torn"))
+        assert log.component_chains(0) == {1: kept, 2: [torn]}
+        rebuilds = log.stats.comp_index_rebuilds
+
+        stable = log.stable_store.open("p1.log")
+        stable.truncate(stable.size - 3)  # tear component 2's frame
+        log.repair_tail()
+
+        chains = log.component_chains(0)
+        # Component 1's chain survived untouched — no full-tail rebuild.
+        assert chains == {1: kept}
+        assert log.stats.comp_index_rebuilds == rebuilds
+
+        # Ground truth: scanning the repaired log derives the same view.
+        assert [
+            (lsn, rec.context_id) for lsn, rec in log.scan(0)
+        ] == [(lsn, 1) for lsn in kept]
+
+    def test_torn_mid_chain_prunes_the_suffix(self, log):
+        first = log.append_and_force(record(1, 0))
+        second = log.append_and_force(record(1, 1))
+        rebuilds = log.stats.comp_index_rebuilds
+        stable = log.stable_store.open("p1.log")
+        stable.truncate(stable.size - 3)  # tear the second frame
+        log.repair_tail()
+        assert log.component_chains(0) == {1: [first]}
+        assert log.stats.comp_index_rebuilds == rebuilds
+        assert second >= log.stable_lsn

@@ -57,3 +57,39 @@ class TestResetOnCrash:
         before = process.log.stats.coalesced_forces
         assert process.force_coalescer.force() is False
         assert process.log.stats.coalesced_forces == before
+
+
+@pytest.mark.no_conformance_check
+class TestPipelinedStatsReset:
+    """Regression: the pipelined batch counters (``pipelined_gated``,
+    ``pipelined_write_skips``) used to survive ``crash()`` and
+    ``begin_restart()`` even though they count gating decisions taken
+    against watermarks the crash wiped — the recovered incarnation's
+    history starts empty, exactly like ``_last_write_at``."""
+
+    def _inflate(self, process):
+        coalescer = process.force_coalescer
+        coalescer.note_gated()
+        coalescer.note_write_skip(2)
+        stats = process.log.stats
+        assert stats.pipelined_gated == 3
+        assert stats.pipelined_write_skips == 1
+
+    def test_crash_zeroes_pipelined_batch_counters(self, runtime):
+        process, __ = deploy_counter(runtime)
+        _append_and_force(process)
+        self._inflate(process)
+        process.crash()
+        stats = process.log.stats
+        assert stats.pipelined_gated == 0
+        assert stats.pipelined_write_skips == 0
+
+    def test_restart_zeroes_pipelined_batch_counters(self, runtime):
+        process, __ = deploy_counter(runtime)
+        _append_and_force(process)
+        process.crash()
+        self._inflate(process)
+        process.begin_restart()
+        stats = process.log.stats
+        assert stats.pipelined_gated == 0
+        assert stats.pipelined_write_skips == 0

@@ -31,6 +31,7 @@ def golden():
             "orderflow",
             "bookstore-concurrent",
             "bookstore-concurrent-pipelined",
+            "bookstore-sharded",
         )
     }
 
@@ -220,6 +221,80 @@ class TestPipelinedCrashSchedules:
             f"/recovery.{boundary}:sweep-driver@1",
             golden,
         )
+
+
+class TestShardedCrashSchedules:
+    """Crash points under ``sharded_logging`` (one log stream per shard
+    of a synthetic three-way bookstore split; internals.md section 16).
+    The oracle's recover-twice byte-identity runs per stream: every
+    shard's log must replay to the same bytes independently."""
+
+    FIRST = "bookstore-sharded:log.force.before:beta-bookstore-app@seller-tier@11"
+
+    def test_crash_on_a_shard_streams_force(self, golden):
+        """Server crash at a seller-tier stream force while the other
+        shards' streams hold unforced appends: recovery must scan every
+        stream and route each context's replay to its owning stream."""
+        run_schedule(self.FIRST, golden)
+
+    def test_crash_on_the_other_shards_force(self, golden):
+        run_schedule(
+            "bookstore-sharded:log.force.before:beta-bookstore-app"
+            "@store-tier@3",
+            golden,
+        )
+
+    def test_torn_tail_on_a_shard_stream(self, golden):
+        """A torn flush on one shard's stream: repair truncates that
+        stream alone, and the other shards' tails survive untouched
+        (the per-stream crash mark must use the repaired boundary of
+        its own stream's LSN space)."""
+        run_schedule(
+            "bookstore-sharded:log.flush:beta-bookstore-app"
+            "@seller-tier@7+9B",
+            golden,
+        )
+
+    def test_second_crash_mid_shard_replay(self, golden):
+        """Crash-during-recovery composite: the second crash fires
+        while a shard drain worker is replaying its stream's
+        components.  Workers of the dead incarnation must ghost (stale
+        CrashSignal on resume) instead of replaying against the retired
+        watermark table — the third recovery still converges
+        byte-identically."""
+        run_schedule(
+            f"{self.FIRST}/recovery.drain_worker:bookstore-app@2", golden
+        )
+
+    def test_second_crash_between_shard_drains(self, golden):
+        """Composite at the boundary BETWEEN two shard drains: one
+        shard fully replayed, the next not started.  The completed
+        shard's replay effects are on its own stream; the second
+        recovery must neither double-apply them nor lose the pending
+        shard."""
+        run_schedule(
+            f"{self.FIRST}/recovery.shard.drained:"
+            "beta-bookstore-app@store-tier@1",
+            golden,
+        )
+
+    def test_second_crash_at_pass2(self, golden):
+        run_schedule(f"{self.FIRST}/recovery.pass2:bookstore-app@1", golden)
+
+
+class TestShardedDeterminism:
+    """Two same-seed sharded runs must produce byte-identical per-stream
+    logs, traces and clocks — the sweep's schedule replay (and the
+    ``make sharded`` gate) depend on it."""
+
+    def test_same_seed_fingerprints_match(self, golden):
+        again = WORKLOADS["bookstore-sharded"]()
+        base = golden["bookstore-sharded"]
+        assert set(again.determinism) == set(base.determinism)
+        for key in sorted(base.determinism):
+            assert again.determinism[key] == base.determinism[key], key
+        assert again.replies == base.replies
+        assert again.state == base.state
 
 
 class TestPipelinedScheduleIds:
